@@ -1,0 +1,28 @@
+# Convenience targets for the SODA reproduction.
+
+.PHONY: install test bench experiments report examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	soda-experiments all
+
+report:
+	soda-experiments report --out EXPERIMENTS.md
+
+examples:
+	python examples/quickstart.py
+	python examples/genome_service.py
+	python examples/honeypot_isolation.py
+	python examples/custom_switch_policy.py
+	python examples/capacity_planning.py
+	python examples/diurnal_autoscaler.py
+
+all: test bench

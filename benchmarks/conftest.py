@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure via its experiment
+module and asserts the *shape* of the result (who wins, by roughly what
+factor) — absolute times are simulated, so what pytest-benchmark
+measures is the reproduction pipeline's own cost, and what the
+assertions check is fidelity to the paper.
+"""
+
+import pytest
+
+
+def run_benched(benchmark, run_fn, seed=0, fast=True, rounds=1):
+    """Run an experiment under the benchmark timer, once."""
+    return benchmark.pedantic(
+        lambda: run_fn(seed=seed, fast=fast), rounds=rounds, iterations=1
+    )

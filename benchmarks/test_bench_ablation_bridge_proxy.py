@@ -1,0 +1,15 @@
+"""Benchmark: bridging vs proxying ablation (footnote 3)."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_bridge_proxy
+
+
+def test_bench_ablation_bridge_proxy(benchmark):
+    result = run_benched(benchmark, ablation_bridge_proxy.run)
+    assert result.all_within_tolerance
+    bridge_rt = float(next(r for r in result.rows if "bridging" in r[0])[1])
+    proxy_rt = float(next(r for r in result.rows if "proxying" in r[0])[1])
+    assert proxy_rt > bridge_rt  # the repro hint: proxy less performant
+    proxy_relays = int(next(r for r in result.rows if "proxying" in r[0])[2])
+    assert proxy_relays > 0

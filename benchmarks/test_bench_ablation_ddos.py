@@ -1,0 +1,15 @@
+"""Benchmark: the §3.5 DDoS caveat and shaper mitigation."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_ddos
+
+
+def test_bench_ablation_ddos(benchmark):
+    result = run_benched(benchmark, ablation_ddos.run)
+    assert result.all_within_tolerance
+    unshaped = next(r for r in result.rows if r[0].startswith("off"))
+    shaped = next(r for r in result.rows if "ENFORCED" in r[0])
+    # Flood hurts the neighbour without shaping, not with it.
+    assert float(unshaped[3].rstrip("x")) > 1.15
+    assert float(shaped[3].rstrip("x")) < 1.1

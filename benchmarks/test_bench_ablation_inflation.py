@@ -1,0 +1,19 @@
+"""Benchmark: the footnote-2 inflation factor sweep."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_inflation
+
+
+def test_bench_ablation_inflation(benchmark):
+    result = run_benched(benchmark, ablation_inflation.run, fast=False)
+    assert result.all_within_tolerance
+    capacities = result.series["HUP capacity (M units) vs inflation"][1]
+    ratios = result.series["node/native service-time ratio vs inflation"][1]
+    # Capacity falls (weakly) as inflation grows; delivered speed rises.
+    assert all(b <= a for a, b in zip(capacities, capacities[1:]))
+    assert all(b < a for a, b in zip(ratios, ratios[1:]))
+    # The paper's 1.5 sits near the knee: within 5% of native-M.
+    factors = result.series["HUP capacity (M units) vs inflation"][0]
+    knee = ratios[factors.index(1.5)]
+    assert 0.9 < knee < 1.05

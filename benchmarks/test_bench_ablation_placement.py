@@ -1,0 +1,16 @@
+"""Benchmark: placement-strategy ablation."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_placement
+
+
+def test_bench_ablation_placement(benchmark):
+    result = run_benched(benchmark, ablation_placement.run, fast=False)
+    assert result.all_within_tolerance
+    rows = {row[0]: row for row in result.rows}
+    # Worst-fit spreads utilisation at least as evenly as first-fit.
+    assert float(rows["worst-fit"][2]) <= float(rows["first-fit"][2])
+    # All strategies admit a sensible number of services.
+    for row in rows.values():
+        assert int(row[1]) >= 1

@@ -1,0 +1,17 @@
+"""Benchmark: switching-policy ablation on heterogeneous nodes."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_policies
+
+
+def test_bench_ablation_policies(benchmark):
+    result = run_benched(benchmark, ablation_policies.run)
+    assert result.all_within_tolerance
+    rows = {row[0]: row for row in result.rows}
+    wrr = rows["weighted-round-robin (default)"]
+    rr = rows["round-robin (weight-blind)"]
+    # Weight-blind RR overloads the 1M node: worse tail latency.
+    assert float(rr[2]) > float(wrr[2])
+    # And sends it ~half the traffic vs WRR's third.
+    assert float(rr[3]) > float(wrr[3]) + 0.1

@@ -1,0 +1,18 @@
+"""Benchmark: unequal CPU shares from the admission path."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_scheduler_shares
+
+
+def test_bench_ablation_scheduler_shares(benchmark):
+    result = run_benched(benchmark, ablation_scheduler_shares.run, fast=False)
+    assert result.all_within_tolerance
+    # In every scenario the proportional scheduler lands each group
+    # within 15% of its entitlement, while vanilla misses somewhere.
+    prop_rows = [r for r in result.rows if r[1] == "proportional"]
+    for row in prop_rows:
+        for cell in row[2:]:
+            got = float(cell.split()[0])
+            want = float(cell.split("want ")[1].rstrip(")"))
+            assert abs(got - want) / want < 0.15

@@ -1,0 +1,16 @@
+"""Benchmark: rootfs tailoring on/off ablation."""
+
+from conftest import run_benched
+
+from repro.experiments import ablation_tailoring
+
+
+def test_bench_ablation_tailoring(benchmark):
+    result = run_benched(benchmark, ablation_tailoring.run)
+    assert result.all_within_tolerance
+    times = {
+        (row[0], row[1]): float(row[4]) for row in result.rows
+    }
+    # Tailoring wins big on both hosts.
+    for host in ("seattle", "tacoma"):
+        assert times[("untailored", host)] > 3 * times[("tailored", host)]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate §4.3's download-time measurement."""
+
+from conftest import run_benched
+
+from repro.experiments import download_time
+
+
+def test_bench_download_time(benchmark):
+    result = run_benched(benchmark, download_time.run, fast=False)
+    assert result.all_within_tolerance
+    # Linear in size: r^2 from the fit is recorded as a comparison.
+    r_squared = next(c for c in result.comparisons if "r^2" in c.name)
+    assert r_squared.measured > 0.999
+    # Goodput is flat (bandwidth-dominated regime).
+    goodputs = [float(row[2]) for row in result.rows]
+    assert max(goodputs) - min(goodputs) < 5.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (attack isolation)."""
+
+from conftest import run_benched
+
+from repro.experiments import fig3_isolation
+
+
+def test_bench_fig3(benchmark):
+    result = run_benched(benchmark, fig3_isolation.run)
+    assert result.all_within_tolerance
+    metrics = {row[0]: int(row[1]) for row in result.rows}
+    # The honeypot was repeatedly owned and crashed...
+    assert metrics["guest-root shells bound"] >= 3
+    assert metrics["honeypot guest crashes"] >= 3
+    # ...while nothing escaped the guest and the web service never failed.
+    assert metrics["host OS compromises"] == 0
+    assert metrics["sibling (web) node compromises"] == 0
+    assert metrics["web request failures during attack"] == 0
+    assert metrics["web requests completed during attack"] > 0
+    # The Figure 3 ps -ef evidence is attached.
+    assert "httpd_19_5" in result.notes and "ghttpd" in result.notes

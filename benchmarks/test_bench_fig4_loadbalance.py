@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (load balancing across 2M/1M nodes)."""
+
+from conftest import run_benched
+
+from repro.experiments import fig4_loadbalance
+
+
+def test_bench_fig4(benchmark):
+    result = run_benched(benchmark, fig4_loadbalance.run)
+    assert result.all_within_tolerance
+    # Response time grows monotonically with dataset size on both nodes.
+    seattle = result.series["seattle mean response time (s) vs dataset (MB)"][1]
+    tacoma = result.series["tacoma mean response time (s) vs dataset (MB)"][1]
+    assert all(b > a for a, b in zip(seattle, seattle[1:]))
+    assert all(b > a for a, b in zip(tacoma, tacoma[1:]))
+    # Per-size: seattle serves ~2x the requests at ~equal response time.
+    for row in result.rows:
+        ratio = float(row[6])
+        assert 1.7 <= ratio <= 2.3

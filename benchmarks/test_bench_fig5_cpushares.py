@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 5 (CPU shares under both schedulers)."""
+
+from conftest import run_benched
+
+from repro.experiments import fig5_cpushares
+
+
+def test_bench_fig5(benchmark):
+    result = run_benched(benchmark, fig5_cpushares.run, fast=False)
+    assert result.all_within_tolerance
+    vanilla = next(r for r in result.rows if "unmodified" in r[0])
+    prop = next(r for r in result.rows if "proportional" in r[0])
+    # (a) vanilla: clearly unequal, comp on top.
+    v_web, v_comp, v_log = (float(x) for x in vanilla[1:4])
+    assert v_comp == max(v_web, v_comp, v_log)
+    assert float(vanilla[4]) > 0.25  # max-min spread
+    # (b) proportional: near-equal thirds, small spread.
+    p_shares = [float(x) for x in prop[1:4]]
+    for share in p_shares:
+        assert abs(share - 1 / 3) < 0.05
+    assert float(prop[4]) < 0.1

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 (application-level slow-down)."""
+
+from conftest import run_benched
+
+from repro.experiments import fig6_slowdown
+
+
+def test_bench_fig6(benchmark):
+    result = run_benched(benchmark, fig6_slowdown.run, fast=False)
+    assert result.all_within_tolerance
+    slowdowns = [float(row[4].rstrip("x")) for row in result.rows]
+    # Modest (1.2-2x), far below Table 4's ~23x, and flat across sizes.
+    for factor in slowdowns:
+        assert 1.2 <= factor <= 2.0
+    assert max(slowdowns) - min(slowdowns) < 0.15
+    # Scenario ordering per size: VM+switch >= host+switch >= direct.
+    for row in result.rows:
+        vm, host_switch, direct = float(row[1]), float(row[2]), float(row[3])
+        assert vm > host_switch >= direct

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (machine configuration M)."""
+
+from conftest import run_benched
+
+from repro.experiments import table1_requirements
+
+
+def test_bench_table1(benchmark):
+    result = run_benched(benchmark, table1_requirements.run)
+    assert result.all_within_tolerance
+    assert result.rows[0] == ["CPU", "512MHz"]
+    assert result.rows[3] == ["Bandwidth", "10Mbps"]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 2 (service bootstrapping times).
+
+Shape assertions: every cell within 25% of the paper; tacoma slower
+than seattle; the 400 MB S_III boots faster than the 253 MB S_IV.
+"""
+
+from conftest import run_benched
+
+from repro.experiments import table2_bootstrap
+
+
+def _cell(result, profile, column):
+    row = next(r for r in result.rows if r[0] == profile)
+    return float(row[column].split()[0])
+
+
+def test_bench_table2(benchmark):
+    result = run_benched(benchmark, table2_bootstrap.run, fast=False)
+    assert result.all_within_tolerance
+
+    for profile in ("S_I", "S_II", "S_III", "S_IV"):
+        seattle = _cell(result, profile, 3)
+        tacoma = _cell(result, profile, 4)
+        assert tacoma > seattle, f"{profile}: tacoma must be slower"
+
+    # Boot time is not ordered by image size (the paper's explicit point).
+    assert _cell(result, "S_III", 3) < _cell(result, "S_IV", 3)
+    # The RAM/disk asymmetry drives S_III's tacoma blow-up.
+    s3_ratio = _cell(result, "S_III", 4) / _cell(result, "S_III", 3)
+    s1_ratio = _cell(result, "S_I", 4) / _cell(result, "S_I", 3)
+    assert s3_ratio > 2 * s1_ratio

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 3 (the service configuration file)."""
+
+from conftest import run_benched
+
+from repro.experiments import table3_config
+
+
+def test_bench_table3(benchmark):
+    result = run_benched(benchmark, table3_config.run)
+    assert result.all_within_tolerance
+    # Two BackEnd directives with capacities 2 and 1 on port 8080.
+    assert len(result.rows) == 2
+    capacities = sorted(int(r[3]) for r in result.rows)
+    assert capacities == [1, 2]
+    assert all(r[0] == "BackEnd" for r in result.rows)
+    assert all(r[2] == "8080" for r in result.rows)

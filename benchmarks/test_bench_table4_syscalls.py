@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (syscall-level slow-down)."""
+
+from conftest import run_benched
+
+from repro.experiments import table4_syscall
+
+
+def test_bench_table4(benchmark):
+    result = run_benched(benchmark, table4_syscall.run)
+    assert result.all_within_tolerance
+    # Every syscall shows a 18-30x slow-down; gettimeofday is worst.
+    slowdowns = {row[0]: float(row[3].rstrip("x")) for row in result.rows}
+    for name, factor in slowdowns.items():
+        assert 18.0 <= factor <= 30.0, name
+    assert max(slowdowns, key=slowdowns.get) == "gettimeofday"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: host a service on a HUP in ~40 lines.
+
+Builds the paper's two-host testbed (seattle + tacoma on a 100 Mbps
+LAN), registers an ASP, publishes the web content service image, makes
+a SODA_service_creation call for <3, M>, serves a few client requests
+through the service switch, resizes, and tears down.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.auth import Credentials
+from repro.image.profiles import make_s1_web_content
+from repro.workload.apps import web_request
+
+# -- 1. Assemble the HUP -----------------------------------------------------
+testbed = build_paper_testbed(seed=7)
+repo = testbed.add_repository()
+repo.publish(make_s1_web_content())
+
+# -- 2. Register as an ASP ----------------------------------------------------
+testbed.agent.register_asp("acme", "supersecret", contact="ops@acme.example")
+creds = Credentials("acme", "supersecret")
+
+# -- 3. SODA_service_creation: <3, M> with the Table 1 machine config ---------
+requirement = ResourceRequirement(n=3, machine=MachineConfig())
+reply = testbed.run(
+    testbed.agent.service_creation(creds, "web", repo, "web-content", requirement)
+)
+print(f"service created in {reply.primed_in_s:.1f} simulated seconds")
+print(f"virtual service nodes: {list(reply.node_endpoints)}")
+print(f"switch endpoint:       {reply.switch_endpoint}")
+
+record = testbed.master.get_service("web")
+print("\nservice configuration file (paper Table 3 format):")
+print(record.switch.config.render())
+
+# -- 4. Serve client requests through the service switch ----------------------
+client = testbed.add_client("laptop-1")
+
+
+def browse(sim):
+    for i in range(6):
+        response = yield sim.process(record.switch.serve(web_request(client, 0.5)))
+        print(
+            f"  request {i}: {response.elapsed * 1e3:6.1f} ms "
+            f"(served by {response.node_name})"
+        )
+
+
+print("\nserving 6 requests (0.5 MB dataset):")
+testbed.run(browse(testbed.sim))
+
+# -- 5. Resize to <4, M> (the two-host HUP's ceiling), then tear down ----------
+testbed.run(testbed.agent.service_resizing(creds, "web", repo, 4))
+print(f"\nresized: total capacity now {testbed.master.get_service('web').total_units} M")
+
+testbed.run(testbed.agent.service_teardown(creds, "web"))
+print(f"torn down; invoice: {testbed.agent.invoice(creds):.6f} machine-hours' worth")

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox has no `wheel` package and no network,
+so PEP 660 editable installs (which build a wheel) fail. `setup.py
+develop` installs an egg-link without building a wheel."""
+from setuptools import setup
+
+setup()

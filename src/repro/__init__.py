@@ -1,0 +1,17 @@
+"""SODA reproduction: service hosting utility platforms, simulated.
+
+A full reimplementation of *SODA: a Service-On-Demand Architecture for
+Application Service Hosting Utility Platforms* (Jiang & Xu, HPDC 2003)
+as a deterministic discrete-event simulation.  Start with
+:func:`repro.core.build_paper_testbed` for the paper's two-host setup,
+or assemble your own HUP with :class:`repro.core.HUPTestbed`.
+
+Package map: :mod:`repro.sim` (event kernel), :mod:`repro.net` (LAN /
+WAN / HTTP), :mod:`repro.host` (machines, schedulers, shaping,
+bridging), :mod:`repro.guestos` (UML guests, rootfs tailoring, syscall
+costs), :mod:`repro.image` (service images), :mod:`repro.workload`
+(siege, attacks), :mod:`repro.core` (SODA itself), :mod:`repro.metrics`
+and :mod:`repro.experiments` (the paper's tables and figures).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,160 @@
+"""The SODA Agent: the ASP-facing front door.
+
+"SODA provides APIs for service creation, tear-down, and resizing.  The
+SODA Agent accepts these calls and passes them to the SODA Master after
+proper authentication" (paper §4.1):
+
+* :meth:`SODAAgent.service_creation` — ``SODA_service_creation``:
+  service name, image location, resource requirement ``<n, M>``;
+* :meth:`SODAAgent.service_teardown` — ``SODA_service_teardown``;
+* :meth:`SODAAgent.service_resizing` — ``SODA_service_resizing`` with a
+  new requirement ``<n_new, M>``.
+
+"After the service creation is completed, the SODA Agent will reply to
+the ASP with information about the virtual service nodes created"
+(§3.1).  The Agent also owns billing (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.core.auth import ASPRegistry, Credentials
+from repro.core.billing import BillingLedger
+from repro.core.errors import AuthenticationError, ServiceNotFoundError
+from repro.core.master import SODAMaster
+from repro.core.policies import SwitchingPolicy
+from repro.core.requirements import ResourceRequirement
+from repro.core.service import ServiceRecord
+from repro.image.repository import ImageRepository
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["ServiceCreationReply", "SODAAgent"]
+
+# Agent-side processing per API call (authentication, accounting),
+# simulated seconds.
+API_OVERHEAD_S = 0.005
+
+
+@dataclass(frozen=True)
+class ServiceCreationReply:
+    """What the ASP gets back from SODA_service_creation."""
+
+    service_name: str
+    node_endpoints: Tuple[str, ...]
+    node_capacities: Tuple[int, ...]
+    switch_endpoint: str
+    primed_in_s: float
+
+
+class SODAAgent:
+    """One per HUP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        master: SODAMaster,
+        registry: Optional[ASPRegistry] = None,
+        ledger: Optional[BillingLedger] = None,
+    ):
+        self.sim = sim
+        self.master = master
+        self.registry = registry or ASPRegistry()
+        self.ledger = ledger or BillingLedger()
+
+    # -- account management ---------------------------------------------------
+    def register_asp(self, name: str, secret: str, contact: str = "") -> None:
+        self.registry.register(name, secret, contact)
+
+    # -- the SODA API (§4.1) ----------------------------------------------------
+    def service_creation(
+        self,
+        credentials: Credentials,
+        service_name: str,
+        repository: ImageRepository,
+        image_name: str,
+        requirement: ResourceRequirement,
+        policy: Optional[SwitchingPolicy] = None,
+    ) -> Generator[Event, Any, ServiceCreationReply]:
+        """``SODA_service_creation`` (simulated-process step)."""
+        account = self.registry.authenticate(credentials)
+        yield self.sim.timeout(API_OVERHEAD_S)
+        started = self.sim.now
+        record = yield from self.master.create_service(
+            service_name=service_name,
+            asp=account.name,
+            repository=repository,
+            image_name=image_name,
+            requirement=requirement,
+            policy=policy,
+        )
+        self.ledger.service_started(
+            service=service_name, asp=account.name, now=self.sim.now,
+            m_units=record.total_units,
+        )
+        return ServiceCreationReply(
+            service_name=service_name,
+            node_endpoints=tuple(str(n.endpoint) for n in record.nodes),
+            node_capacities=tuple(n.units for n in record.nodes),
+            switch_endpoint=str(record.switch.home_node.endpoint),
+            primed_in_s=self.sim.now - started,
+        )
+
+    def service_teardown(
+        self, credentials: Credentials, service_name: str
+    ) -> Generator[Event, Any, None]:
+        """``SODA_service_teardown``."""
+        account = self.registry.authenticate(credentials)
+        self._check_ownership(account.name, service_name)
+        yield self.sim.timeout(API_OVERHEAD_S)
+        self.master.teardown_service(service_name)
+        self.ledger.service_stopped(service=service_name, now=self.sim.now)
+
+    def service_resizing(
+        self,
+        credentials: Credentials,
+        service_name: str,
+        repository: ImageRepository,
+        n_new: int,
+    ) -> Generator[Event, Any, ServiceRecord]:
+        """``SODA_service_resizing`` with ``<n_new, M>``."""
+        account = self.registry.authenticate(credentials)
+        self._check_ownership(account.name, service_name)
+        yield self.sim.timeout(API_OVERHEAD_S)
+        record = yield from self.master.resize_service(
+            service_name, repository, n_new
+        )
+        self.ledger.service_resized(
+            service=service_name, now=self.sim.now, m_units=record.total_units
+        )
+        return record
+
+    # -- queries ------------------------------------------------------------
+    def service_status(self, credentials: Credentials, service_name: str):
+        """Monitoring view of one of the caller's services (§1: staff
+        monitor 'as if the service were hosted locally'; §2.1: only
+        within their own services)."""
+        from repro.core.monitoring import HUPMonitor
+
+        account = self.registry.authenticate(credentials)
+        self._check_ownership(account.name, service_name)
+        return HUPMonitor(self.master).service_status(service_name)
+
+    def service_info(self, credentials: Credentials, service_name: str) -> ServiceRecord:
+        account = self.registry.authenticate(credentials)
+        self._check_ownership(account.name, service_name)
+        return self.master.get_service(service_name)
+
+    def invoice(self, credentials: Credentials) -> float:
+        account = self.registry.authenticate(credentials)
+        return self.ledger.invoice(account.name, self.sim.now)
+
+    def _check_ownership(self, asp_name: str, service_name: str) -> None:
+        record = self.master.get_service(service_name)  # raises if unknown
+        if record.asp != asp_name:
+            # Administration isolation (§2.1): an ASP has privileges
+            # only within its own services.
+            raise AuthenticationError(
+                f"ASP {asp_name!r} does not own service {service_name!r}"
+            )

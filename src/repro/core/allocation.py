@@ -1,0 +1,156 @@
+"""The SODA Master's resource allocation (paper §3.2 + footnote 2).
+
+Maps a requirement ``<n, M>`` onto ``n' <= n`` virtual service nodes
+under the paper's two simplifying assumptions: (1) full replication,
+(2) node granularity of whole machine instances — a node's capacity is
+one M or a multiple of M.  "Since each virtual service node is a
+virtual machine running on the host OS, there will be a slow-down in
+both processing and network transmission [...] we set the slow-down
+factor to be 1.5 and we assume no resource aggregation": the CPU and
+bandwidth components of every unit are inflated by 1.5 at reservation
+time, and k units on one host cost exactly k inflated-M vectors (no
+aggregation discount).
+
+Three placement strategies are provided for the ablation study; the
+paper's behaviour corresponds to first-fit over its two hosts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import AdmissionError
+from repro.core.requirements import ResourceRequirement
+from repro.host.reservation import ResourceVector
+
+__all__ = [
+    "SLOWDOWN_INFLATION",
+    "PlacementStrategy",
+    "NodeAssignment",
+    "AllocationPlan",
+    "inflated_unit_vector",
+    "plan_allocation",
+]
+
+#: Footnote 2: the conservative slow-down factor applied to CPU and
+#: network bandwidth during resource allocation.
+SLOWDOWN_INFLATION = 1.5
+
+
+class PlacementStrategy(enum.Enum):
+    FIRST_FIT = "first-fit"
+    BEST_FIT = "best-fit"
+    WORST_FIT = "worst-fit"
+
+
+@dataclass(frozen=True)
+class NodeAssignment:
+    """``units`` machine instances placed on ``host_name`` as one node."""
+
+    host_name: str
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError(f"units must be >= 1, got {self.units}")
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """The Master's decision for one service creation/resizing."""
+
+    requirement: ResourceRequirement
+    unit_vector: ResourceVector  # inflated resources of one M
+    assignments: Tuple[NodeAssignment, ...]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def total_units(self) -> int:
+        return sum(a.units for a in self.assignments)
+
+    def node_vector(self, assignment: NodeAssignment) -> ResourceVector:
+        """Resources one node reserves (no aggregation discount)."""
+        return self.unit_vector.scaled(float(assignment.units))
+
+
+def inflated_unit_vector(
+    requirement: ResourceRequirement, inflation: float = SLOWDOWN_INFLATION
+) -> ResourceVector:
+    """One machine instance M with CPU and bandwidth inflated."""
+    if inflation < 1.0:
+        raise ValueError(f"inflation factor must be >= 1, got {inflation}")
+    m = requirement.machine
+    return ResourceVector(
+        cpu_mhz=m.cpu_mhz * inflation,
+        mem_mb=m.mem_mb,
+        disk_mb=m.disk_mb,
+        bw_mbps=m.bw_mbps * inflation,
+    )
+
+
+def _units_that_fit(available: ResourceVector, unit: ResourceVector) -> int:
+    """How many unit vectors fit into ``available``."""
+    counts = []
+    for attr in ("cpu_mhz", "mem_mb", "disk_mb", "bw_mbps"):
+        need = getattr(unit, attr)
+        if need > 0:
+            counts.append(int((getattr(available, attr) + 1e-9) // need))
+    return min(counts) if counts else 0
+
+
+def plan_allocation(
+    requirement: ResourceRequirement,
+    availability: Sequence[Tuple[str, ResourceVector]],
+    strategy: PlacementStrategy = PlacementStrategy.FIRST_FIT,
+    inflation: float = SLOWDOWN_INFLATION,
+) -> AllocationPlan:
+    """Place ``n`` machine instances onto hosts.
+
+    ``availability`` is the (host name, available vector) list collected
+    from the SODA Daemons.  Units landing on the same host merge into a
+    single multi-M virtual service node.  Raises
+    :class:`AdmissionError` when the requirement cannot be satisfied —
+    the §3.2 "request failure".
+    """
+    unit = inflated_unit_vector(requirement, inflation)
+    remaining: Dict[str, ResourceVector] = {}
+    order: List[str] = []
+    for host_name, vector in availability:
+        if host_name in remaining:
+            raise ValueError(f"duplicate availability report for host {host_name!r}")
+        remaining[host_name] = vector
+        order.append(host_name)
+
+    placed: Dict[str, int] = {}
+    for _ in range(requirement.n):
+        candidates = [h for h in order if _units_that_fit(remaining[h], unit) >= 1]
+        if not candidates:
+            total_placed = sum(placed.values())
+            raise AdmissionError(
+                f"cannot satisfy {requirement}: placed {total_placed}/{requirement.n} "
+                f"machine instances (inflation {inflation}x on CPU/bandwidth)"
+            )
+        if strategy is PlacementStrategy.FIRST_FIT:
+            chosen = candidates[0]
+        elif strategy is PlacementStrategy.BEST_FIT:
+            # Tightest fit: fewest remaining units after placement.
+            chosen = min(
+                candidates, key=lambda h: (_units_that_fit(remaining[h], unit), h)
+            )
+        else:  # WORST_FIT
+            chosen = max(
+                candidates,
+                key=lambda h: (_units_that_fit(remaining[h], unit), -order.index(h)),
+            )
+        remaining[chosen] = remaining[chosen] - unit
+        placed[chosen] = placed.get(chosen, 0) + 1
+
+    assignments = tuple(
+        NodeAssignment(host_name=h, units=placed[h]) for h in order if h in placed
+    )
+    return AllocationPlan(requirement=requirement, unit_vector=unit, assignments=assignments)

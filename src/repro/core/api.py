@@ -1,0 +1,153 @@
+"""The HUPTestbed facade: a whole simulated SODA platform in one object.
+
+Builds and wires everything the examples and experiments need: the
+event kernel, the LAN, the HUP hosts with their SODA Daemons (each with
+a disjoint IP pool and a bridging module), the SODA Master and Agent,
+an ASP-side image repository machine, and client machines.
+
+:func:`build_paper_testbed` reproduces the paper's §4 setup: *seattle*
+and *tacoma* on a 100 Mbps LAN, "a number of laptop and desktop PCs
+running as the SODA Agent, SODA Master, and service clients".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.agent import SODAAgent
+from repro.core.daemon import SODADaemon
+from repro.core.master import SODAMaster
+from repro.core.allocation import PlacementStrategy, SLOWDOWN_INFLATION
+from repro.host.bridge import BridgingModule, ProxyModule
+from repro.host.machine import Host, make_seattle, make_tacoma
+from repro.net.ip import IPAddressPool, check_disjoint
+from repro.net.lan import LAN, NetworkInterface
+from repro.image.repository import ImageRepository
+from repro.sim.kernel import Process, Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = ["HUPTestbed", "build_paper_testbed"]
+
+CLIENT_NIC_MBPS = 100.0
+REPO_NIC_MBPS = 100.0
+
+
+class HUPTestbed:
+    """A fully wired simulated HUP."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        lan_bandwidth_mbps: float = 100.0,
+        lan_latency_s: float = 0.0002,
+        strategy: PlacementStrategy = PlacementStrategy.FIRST_FIT,
+        inflation: float = SLOWDOWN_INFLATION,
+    ):
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed)
+        self.lan = LAN(self.sim, bandwidth_mbps=lan_bandwidth_mbps, latency_s=lan_latency_s)
+        self.hosts: Dict[str, Host] = {}
+        self.daemons: Dict[str, SODADaemon] = {}
+        self._strategy = strategy
+        self._inflation = inflation
+        self.master: Optional[SODAMaster] = None
+        self.agent: Optional[SODAAgent] = None
+        self.repositories: Dict[str, ImageRepository] = {}
+        self.clients: Dict[str, NetworkInterface] = {}
+        self._next_pool_base = 0
+
+    # -- assembly ----------------------------------------------------------
+    def add_host(
+        self,
+        host: Host,
+        ip_pool: Optional[IPAddressPool] = None,
+        pool_size: int = 16,
+        proxy_mode: bool = False,
+    ) -> SODADaemon:
+        """Attach a host and start its SODA Daemon.
+
+        IP pools default to disjoint /28-sized slices of 128.10.<k>.0,
+        honouring §4.3's disjointness requirement.
+        """
+        if self.master is not None:
+            raise RuntimeError("cannot add hosts after finalize()")
+        if host.name in self.hosts:
+            raise ValueError(f"host {host.name!r} already added")
+        if host.nic is None:
+            host.attach(self.lan)
+        if ip_pool is None:
+            base = 9 + self._next_pool_base
+            self._next_pool_base += 1
+            ip_pool = IPAddressPool(f"128.10.{base}.125", size=pool_size, owner=host.name)
+        networking = (
+            ProxyModule(host_ip=f"128.10.0.{len(self.hosts) + 1}", host_name=host.name)
+            if proxy_mode
+            else BridgingModule(host.name)
+        )
+        daemon = SODADaemon(
+            sim=self.sim, host=host, lan=self.lan, ip_pool=ip_pool, networking=networking
+        )
+        self.hosts[host.name] = host
+        self.daemons[host.name] = daemon
+        return daemon
+
+    def finalize(self) -> "HUPTestbed":
+        """Create the Master and Agent once all hosts are added."""
+        if self.master is not None:
+            raise RuntimeError("already finalized")
+        overlap = check_disjoint([d.ip_pool for d in self.daemons.values()])
+        if overlap is not None:
+            raise ValueError(f"IP pools of {overlap[0]!r} and {overlap[1]!r} overlap")
+        self.master = SODAMaster(
+            self.sim,
+            self.lan,
+            list(self.daemons.values()),
+            strategy=self._strategy,
+            inflation=self._inflation,
+        )
+        self.agent = SODAAgent(self.sim, self.master)
+        return self
+
+    def add_repository(self, name: str = "asp-repo") -> ImageRepository:
+        """An ASP-side image repository machine on the LAN."""
+        if name in self.repositories:
+            raise ValueError(f"repository {name!r} already exists")
+        nic = self.lan.nic(name, REPO_NIC_MBPS)
+        repo = ImageRepository(name, nic)
+        self.repositories[name] = repo
+        return repo
+
+    def add_client(self, name: str) -> NetworkInterface:
+        """A client machine NIC on the LAN."""
+        if name in self.clients:
+            raise ValueError(f"client {name!r} already exists")
+        nic = self.lan.nic(name, CLIENT_NIC_MBPS)
+        self.clients[name] = nic
+        return nic
+
+    # -- execution ------------------------------------------------------------
+    def run(self, generator, name: str = "", limit: float = float("inf")) -> Any:
+        """Drive one simulated process to completion and return its value."""
+        process = self.sim.process(generator, name=name)
+        return self.sim.run_until_process(process, limit=limit)
+
+    def spawn(self, generator, name: str = "") -> Process:
+        """Start a background simulated process."""
+        return self.sim.process(generator, name=name)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+
+def build_paper_testbed(
+    seed: int = 0,
+    strategy: PlacementStrategy = PlacementStrategy.FIRST_FIT,
+    proxy_mode: bool = False,
+) -> HUPTestbed:
+    """The paper's §4 testbed: seattle + tacoma on a 100 Mbps LAN."""
+    testbed = HUPTestbed(seed=seed, strategy=strategy)
+    testbed.add_host(make_seattle(testbed.sim), proxy_mode=proxy_mode)
+    testbed.add_host(make_tacoma(testbed.sim), proxy_mode=proxy_mode)
+    testbed.finalize()
+    return testbed

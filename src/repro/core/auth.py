@@ -1,0 +1,85 @@
+"""ASP registry and authentication.
+
+"As the interface between ASPs and the HUP, the SODA Agent
+authenticates the ASP" (paper §3.1).  A shared-secret scheme is
+modelled: ASPs register with a secret, and every API call presents
+credentials the Agent verifies.  Secrets are stored hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.errors import AuthenticationError
+
+__all__ = ["ASPAccount", "Credentials", "ASPRegistry"]
+
+
+def _digest(secret: str) -> str:
+    return hashlib.sha256(secret.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """What an ASP presents on each API call."""
+
+    asp_name: str
+    secret: str
+
+
+@dataclass
+class ASPAccount:
+    """One registered Application Service Provider."""
+
+    name: str
+    secret_hash: str
+    contact: str = ""
+    enabled: bool = True
+
+
+class ASPRegistry:
+    """Accounts known to the SODA Agent."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, ASPAccount] = {}
+
+    def register(self, name: str, secret: str, contact: str = "") -> ASPAccount:
+        if not name:
+            raise ValueError("ASP name cannot be empty")
+        if len(secret) < 8:
+            raise ValueError("ASP secret must be at least 8 characters")
+        if name in self._accounts:
+            raise ValueError(f"ASP {name!r} already registered")
+        account = ASPAccount(name=name, secret_hash=_digest(secret), contact=contact)
+        self._accounts[name] = account
+        return account
+
+    def disable(self, name: str) -> None:
+        self._get(name).enabled = False
+
+    def enable(self, name: str) -> None:
+        self._get(name).enabled = True
+
+    def _get(self, name: str) -> ASPAccount:
+        try:
+            return self._accounts[name]
+        except KeyError:
+            raise AuthenticationError(f"unknown ASP {name!r}") from None
+
+    def authenticate(self, credentials: Credentials) -> ASPAccount:
+        """Verify credentials; raises :class:`AuthenticationError`."""
+        account = self._get(credentials.asp_name)
+        if not account.enabled:
+            raise AuthenticationError(f"ASP {credentials.asp_name!r} is disabled")
+        if not hmac.compare_digest(account.secret_hash, _digest(credentials.secret)):
+            raise AuthenticationError(f"bad secret for ASP {credentials.asp_name!r}")
+        return account
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)

@@ -1,0 +1,98 @@
+"""HUP billing ledger.
+
+The SODA Agent "performs other administrative tasks such as billing"
+(paper §2.2).  The model charges per machine-instance-hour: a service
+holding capacity for ``k`` machine instances M accrues
+``k * rate_per_m_hour`` per hour of simulated time.  Resizing changes
+the accrual rate from the moment it takes effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["UsageSegment", "BillingLedger"]
+
+DEFAULT_RATE_PER_M_HOUR = 1.0  # currency units per machine-instance-hour
+
+
+@dataclass(frozen=True)
+class UsageSegment:
+    """A span during which a service held a constant capacity."""
+
+    service: str
+    asp: str
+    start: float
+    end: float
+    m_units: int
+
+    @property
+    def hours(self) -> float:
+        return (self.end - self.start) / 3600.0
+
+
+class BillingLedger:
+    """Accrues machine-instance-hours per service and invoices per ASP."""
+
+    def __init__(self, rate_per_m_hour: float = DEFAULT_RATE_PER_M_HOUR):
+        if rate_per_m_hour < 0:
+            raise ValueError(f"rate cannot be negative: {rate_per_m_hour}")
+        self.rate_per_m_hour = rate_per_m_hour
+        self._open: Dict[str, tuple] = {}  # service -> (asp, start, m_units)
+        self._segments: List[UsageSegment] = []
+
+    def service_started(self, service: str, asp: str, now: float, m_units: int) -> None:
+        if service in self._open:
+            raise ValueError(f"service {service!r} already metered")
+        if m_units < 1:
+            raise ValueError(f"m_units must be >= 1, got {m_units}")
+        self._open[service] = (asp, now, m_units)
+
+    def service_resized(self, service: str, now: float, m_units: int) -> None:
+        """Close the current segment and open one at the new capacity."""
+        if service not in self._open:
+            raise ValueError(f"service {service!r} not metered")
+        if m_units < 1:
+            raise ValueError(f"m_units must be >= 1, got {m_units}")
+        asp, start, old_units = self._open[service]
+        self._close(service, asp, start, now, old_units)
+        self._open[service] = (asp, now, m_units)
+
+    def service_stopped(self, service: str, now: float) -> None:
+        if service not in self._open:
+            raise ValueError(f"service {service!r} not metered")
+        asp, start, m_units = self._open.pop(service)
+        self._close(service, asp, start, now, m_units)
+
+    def _close(self, service: str, asp: str, start: float, end: float, m_units: int) -> None:
+        if end < start:
+            raise ValueError(f"segment ends before it starts: {end} < {start}")
+        self._segments.append(
+            UsageSegment(service=service, asp=asp, start=start, end=end, m_units=m_units)
+        )
+
+    # -- queries ---------------------------------------------------------
+    def machine_hours(self, service: str, now: float) -> float:
+        """Accrued machine-instance-hours for ``service`` as of ``now``."""
+        total = sum(s.hours * s.m_units for s in self._segments if s.service == service)
+        if service in self._open:
+            asp, start, m_units = self._open[service]
+            total += (now - start) / 3600.0 * m_units
+        return total
+
+    def invoice(self, asp: str, now: float) -> float:
+        """Amount owed by ``asp`` as of ``now``."""
+        total = sum(s.hours * s.m_units for s in self._segments if s.asp == asp)
+        for service, (open_asp, start, m_units) in self._open.items():
+            if open_asp == asp:
+                total += (now - start) / 3600.0 * m_units
+        return total * self.rate_per_m_hour
+
+    @property
+    def n_open(self) -> int:
+        return len(self._open)
+
+    @property
+    def segments(self) -> List[UsageSegment]:
+        return list(self._segments)

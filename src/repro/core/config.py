@@ -1,0 +1,110 @@
+"""The service configuration file (paper Table 3).
+
+"Inside the service switch, a *service configuration file* is created
+and maintained by the SODA Master.  The file records (1) the IP address
+and (2) the relative capacity of each virtual service node of S"
+(§3.4).  Table 3 shows the format:
+
+    | Directive | IP address   | Port number | Capacity |
+    | BackEnd   | 128.10.9.125 | 8080        | 2        |
+    | BackEnd   | 128.10.9.126 | 8080        | 1        |
+
+The file is both a data structure (the switch reads weights from it)
+and a renderable/parsable text artefact (the Master updates it on
+resizing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["BackEndDirective", "ServiceConfigFile"]
+
+
+@dataclass(frozen=True)
+class BackEndDirective:
+    """One ``BackEnd`` line: a virtual service node behind the switch."""
+
+    ip: str
+    port: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.port <= 65535:
+            raise ValueError(f"port {self.port} out of range")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+
+    def render(self) -> str:
+        return f"BackEnd {self.ip} {self.port} {self.capacity}"
+
+
+class ServiceConfigFile:
+    """The switch's view of its back-end nodes; maintained by the Master."""
+
+    def __init__(self, service_name: str):
+        self.service_name = service_name
+        self._directives: List[BackEndDirective] = []
+
+    # -- mutation (SODA Master only) -----------------------------------------
+    def add_backend(self, ip: str, port: int, capacity: int) -> BackEndDirective:
+        if any(d.ip == ip and d.port == port for d in self._directives):
+            raise ValueError(f"backend {ip}:{port} already present")
+        directive = BackEndDirective(ip=ip, port=port, capacity=capacity)
+        self._directives.append(directive)
+        return directive
+
+    def remove_backend(self, ip: str, port: int) -> None:
+        for directive in self._directives:
+            if directive.ip == ip and directive.port == port:
+                self._directives.remove(directive)
+                return
+        raise KeyError(f"no backend {ip}:{port} in config for {self.service_name!r}")
+
+    def set_capacity(self, ip: str, port: int, capacity: int) -> None:
+        """Resize one node's relative capacity in place (§3.4)."""
+        for i, directive in enumerate(self._directives):
+            if directive.ip == ip and directive.port == port:
+                self._directives[i] = BackEndDirective(ip=ip, port=port, capacity=capacity)
+                return
+        raise KeyError(f"no backend {ip}:{port} in config for {self.service_name!r}")
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def backends(self) -> List[BackEndDirective]:
+        return list(self._directives)
+
+    @property
+    def total_capacity(self) -> int:
+        """Sum of relative capacities = n machine instances provided."""
+        return sum(d.capacity for d in self._directives)
+
+    def __len__(self) -> int:
+        return len(self._directives)
+
+    # -- text form ------------------------------------------------------------
+    def render(self) -> str:
+        """The Table 3 artefact."""
+        header = f"# service configuration file for {self.service_name}"
+        lines = [header] + [d.render() for d in self._directives]
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "ServiceConfigFile":
+        """Re-read a rendered config file."""
+        config = cls(service_name="")
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "service configuration file for" in line:
+                    config.service_name = line.rsplit(" ", 1)[-1]
+                continue
+            parts = line.split()
+            if len(parts) != 4 or parts[0] != "BackEnd":
+                raise ValueError(f"line {lineno}: malformed directive {raw!r}")
+            _, ip, port, capacity = parts
+            config.add_backend(ip, int(port), int(capacity))
+        return config

@@ -1,0 +1,42 @@
+"""SODA error hierarchy.
+
+Every failure surfaced through the SODA API derives from
+:class:`SODAError`, so ASP-side callers can catch one type.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SODAError",
+    "AuthenticationError",
+    "AdmissionError",
+    "ServiceNotFoundError",
+    "InvalidRequestError",
+    "PrimingError",
+]
+
+
+class SODAError(RuntimeError):
+    """Base of all SODA-level failures."""
+
+
+class AuthenticationError(SODAError):
+    """The SODA Agent rejected the ASP's credentials (§3.1)."""
+
+
+class AdmissionError(SODAError):
+    """The SODA Master could not satisfy the resource requirement —
+    "If the resource requirement cannot be satisfied, a request failure
+    will be reported" (§3.2)."""
+
+
+class ServiceNotFoundError(SODAError):
+    """Teardown/resize/query of a service this HUP does not host."""
+
+
+class InvalidRequestError(SODAError):
+    """Malformed API call (bad requirement, unknown image, ...)."""
+
+
+class PrimingError(SODAError):
+    """A SODA Daemon failed during service priming (§3.3)."""

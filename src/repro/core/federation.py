@@ -1,0 +1,108 @@
+"""HUP federation (paper §3.5 future work, implemented as an extension).
+
+"One way to construct a wide-area HUP is to *federate* multiple local
+HUPs, each having its own SODA Agent and Master."  The federation layer
+here routes a service creation request to the first member HUP that can
+admit it (members keep full autonomy: each has its own Agent, Master,
+accounts and billing), and remembers the placement so teardown/resizing
+reach the right HUP.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.agent import ServiceCreationReply, SODAAgent
+from repro.core.auth import Credentials
+from repro.core.errors import AdmissionError, ServiceNotFoundError
+from repro.core.policies import SwitchingPolicy
+from repro.core.requirements import ResourceRequirement
+from repro.image.repository import ImageRepository
+from repro.sim.kernel import Event
+
+__all__ = ["FederatedHUP"]
+
+
+class FederatedHUP:
+    """Routes SODA API calls across multiple autonomous local HUPs."""
+
+    def __init__(self, members: Dict[str, SODAAgent]):
+        if not members:
+            raise ValueError("a federation needs at least one member HUP")
+        self.members = dict(members)
+        self._placements: Dict[str, str] = {}  # service -> member name
+
+    @property
+    def member_names(self) -> List[str]:
+        return list(self.members)
+
+    def locate(self, service_name: str) -> str:
+        """Which member hosts ``service_name``."""
+        try:
+            return self._placements[service_name]
+        except KeyError:
+            raise ServiceNotFoundError(
+                f"service {service_name!r} not hosted in this federation"
+            ) from None
+
+    def service_creation(
+        self,
+        credentials: Credentials,
+        service_name: str,
+        repository: ImageRepository,
+        image_name: str,
+        requirement: ResourceRequirement,
+        policy: Optional[SwitchingPolicy] = None,
+    ) -> Generator[Event, Any, ServiceCreationReply]:
+        """Create on the first member whose Master can admit ``<n, M>``.
+
+        Each member authenticates independently (autonomous management):
+        the ASP must be registered with the member that ends up hosting.
+        """
+        if service_name in self._placements:
+            raise AdmissionError(f"service {service_name!r} already placed")
+        last_error: Optional[Exception] = None
+        for member_name, agent in self.members.items():
+            if not agent.master.can_admit(requirement):
+                continue
+            try:
+                reply = yield from agent.service_creation(
+                    credentials=credentials,
+                    service_name=service_name,
+                    repository=repository,
+                    image_name=image_name,
+                    requirement=requirement,
+                    policy=policy,
+                )
+            except AdmissionError as exc:
+                last_error = exc
+                continue
+            self._placements[service_name] = member_name
+            return reply
+        raise AdmissionError(
+            f"no member HUP can admit {requirement} for {service_name!r}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    def service_teardown(
+        self, credentials: Credentials, service_name: str
+    ) -> Generator[Event, Any, None]:
+        member = self.locate(service_name)
+        yield from self.members[member].service_teardown(credentials, service_name)
+        del self._placements[service_name]
+
+    def service_resizing(
+        self,
+        credentials: Credentials,
+        service_name: str,
+        repository: ImageRepository,
+        n_new: int,
+    ) -> Generator[Event, Any, Any]:
+        member = self.locate(service_name)
+        record = yield from self.members[member].service_resizing(
+            credentials, service_name, repository, n_new
+        )
+        return record
+
+    def total_services(self) -> int:
+        return len(self._placements)

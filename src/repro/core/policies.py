@@ -1,0 +1,212 @@
+"""Request switching policies.
+
+"The service switch enforces a default request switching policy, which
+can be *replaced* with a service-specific policy by the ASP" (paper
+§3.4).  The default is weighted round-robin with weights equal to node
+capacities (§5: "The request switching policy is weighted round-robin,
+with the weights reflecting the capacity of the two virtual service
+nodes").
+
+A policy sees only healthy candidates and their weights/in-flight
+counts and returns one of them.  Custom ASP policies wrap a plain
+callable; SODA's isolation means an ill-behaving custom policy can hurt
+only its own service (§5), which the switch enforces by validating the
+policy's choice.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.node import VirtualServiceNode
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "SwitchingPolicy",
+    "WeightedRoundRobinPolicy",
+    "RoundRobinPolicy",
+    "LeastConnectionsPolicy",
+    "RandomPolicy",
+    "SourceHashPolicy",
+    "FastestResponsePolicy",
+    "CustomPolicy",
+]
+
+
+class SwitchingPolicy:
+    """Base class: pick one node from non-empty ``candidates``.
+
+    ``weights`` maps node name -> relative capacity from the service
+    configuration file.
+    """
+
+    name = "base"
+
+    def choose(
+        self,
+        candidates: Sequence[VirtualServiceNode],
+        weights: Dict[str, int],
+    ) -> VirtualServiceNode:
+        raise NotImplementedError
+
+
+class WeightedRoundRobinPolicy(SwitchingPolicy):
+    """Smooth weighted round-robin (the SODA default).
+
+    Interleaves choices so a weight-2 node gets every other request
+    rather than bursts of two — the scheme nginx popularised.  Exact
+    long-run ratios equal the weight ratios.
+    """
+
+    name = "weighted-round-robin"
+
+    def __init__(self) -> None:
+        self._current: Dict[str, float] = {}
+
+    def choose(self, candidates, weights):
+        if not candidates:
+            raise ValueError("no candidates")
+        total = 0.0
+        best = None
+        for node in candidates:
+            weight = weights.get(node.name, 1)
+            total += weight
+            self._current[node.name] = self._current.get(node.name, 0.0) + weight
+            if best is None or self._current[node.name] > self._current[best.name]:
+                best = node
+        self._current[best.name] -= total
+        return best
+
+
+class RoundRobinPolicy(SwitchingPolicy):
+    """Plain round-robin, ignoring weights."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, candidates, weights):
+        if not candidates:
+            raise ValueError("no candidates")
+        node = candidates[self._next % len(candidates)]
+        self._next += 1
+        return node
+
+
+class LeastConnectionsPolicy(SwitchingPolicy):
+    """Fewest in-flight requests per unit of weight."""
+
+    name = "least-connections"
+
+    def choose(self, candidates, weights):
+        if not candidates:
+            raise ValueError("no candidates")
+        return min(
+            candidates,
+            key=lambda n: (n.inflight / max(weights.get(n.name, 1), 1), n.name),
+        )
+
+
+class RandomPolicy(SwitchingPolicy):
+    """Weight-proportional random choice (seeded; deterministic)."""
+
+    name = "random"
+
+    def __init__(self, streams: Optional[RandomStreams] = None):
+        self._streams = streams or RandomStreams(seed=0)
+
+    def choose(self, candidates, weights):
+        if not candidates:
+            raise ValueError("no candidates")
+        cum: List[float] = []
+        total = 0.0
+        for node in candidates:
+            total += weights.get(node.name, 1)
+            cum.append(total)
+        x = self._streams.uniform("switch-random", 0.0, total)
+        for node, edge in zip(candidates, cum):
+            if x <= edge:
+                return node
+        return candidates[-1]
+
+
+class SourceHashPolicy(SwitchingPolicy):
+    """Session affinity: hash the client's identity onto a node.
+
+    The same client always lands on the same node (while the node set
+    is stable), which a stateful service-specific policy would want —
+    exactly the kind of replacement policy §3.4 anticipates.  Weights
+    are honoured by giving each node a number of hash slots equal to
+    its weight.
+    """
+
+    name = "source-hash"
+
+    def choose(self, candidates, weights):
+        if not candidates:
+            raise ValueError("no candidates")
+        return self.choose_for(candidates, weights, client_key="")
+
+    def choose_for(self, candidates, weights, client_key: str):
+        if not candidates:
+            raise ValueError("no candidates")
+        slots = []
+        for node in sorted(candidates, key=lambda n: n.name):
+            slots.extend([node] * max(1, int(weights.get(node.name, 1))))
+        import hashlib
+
+        digest = hashlib.sha256(client_key.encode()).digest()
+        return slots[int.from_bytes(digest[:4], "little") % len(slots)]
+
+
+class FastestResponsePolicy(SwitchingPolicy):
+    """Route to the node with the best exponentially-weighted response
+    time; unmeasured nodes are probed first.  Adapts to heterogeneous
+    or degraded nodes without configured weights."""
+
+    name = "fastest-response"
+
+    def __init__(self, alpha: float = 0.2):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._ewma: Dict[str, float] = {}
+
+    def observe(self, node_name: str, response_s: float) -> None:
+        """Feed a measured response time back into the policy."""
+        if response_s < 0:
+            raise ValueError(f"negative response time: {response_s}")
+        if node_name in self._ewma:
+            self._ewma[node_name] = (
+                (1 - self.alpha) * self._ewma[node_name] + self.alpha * response_s
+            )
+        else:
+            self._ewma[node_name] = response_s
+
+    def choose(self, candidates, weights):
+        if not candidates:
+            raise ValueError("no candidates")
+        unprobed = [n for n in candidates if n.name not in self._ewma]
+        if unprobed:
+            return unprobed[0]
+        return min(candidates, key=lambda n: (self._ewma[n.name], n.name))
+
+
+class CustomPolicy(SwitchingPolicy):
+    """An ASP-supplied policy function (§3.4's replaceable policy).
+
+    ``fn(candidates, weights) -> node``.  The switch validates the
+    returned node, so a buggy custom policy degrades only its own
+    service ("even if the service-specific policy is ill-behaving, it
+    will not affect other services hosted in the HUP", §5).
+    """
+
+    def __init__(self, fn: Callable, name: str = "custom"):
+        if not callable(fn):
+            raise TypeError("custom policy must be callable")
+        self._fn = fn
+        self.name = name
+
+    def choose(self, candidates, weights):
+        return self._fn(list(candidates), dict(weights))

@@ -1,0 +1,140 @@
+"""Off-line QoS/resource profiling: deriving <n, M>.
+
+Paper §3: "The resource requirement specification is the result of
+off-line QoS/resource profiling [13], which is out of the scope of this
+paper."  This module supplies that missing piece as a library feature:
+given an application's per-request execution profile and its service
+level objective, derive the ``<n, M>`` to hand to
+``SODA_service_creation``.
+
+The model prices one machine instance M as a single server whose
+per-request holding time combines (a) guest CPU time at the *inflated*
+CPU share (so the UML slow-down is already paid for, footnote 2) and
+(b) response transmission at M's bandwidth share.  An M/M/1-style
+waiting-time expansion ``response ~ holding / (1 - utilisation)`` turns
+the SLO into a maximum safe utilisation, and the peak request rate into
+a unit count.  The derivation is validated end-to-end in the test
+suite: deploying the derived requirement and replaying the declared
+load meets the declared SLO.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import SLOWDOWN_INFLATION
+from repro.core.errors import InvalidRequestError
+from repro.core.requirements import MachineConfig, ResourceRequirement
+from repro.guestos.syscall import SyscallCostModel, SyscallMix
+from repro.net.http import TCP_EFFICIENCY
+
+__all__ = ["ServiceLoadSpec", "ProfileReport", "InfeasibleSLOError", "ResourceProfiler"]
+
+# RAM the guest OS itself needs before application working set.
+GUEST_OS_FLOOR_MB = 64.0
+
+
+class InfeasibleSLOError(InvalidRequestError):
+    """The SLO cannot be met with the proposed machine configuration."""
+
+
+@dataclass(frozen=True)
+class ServiceLoadSpec:
+    """What the ASP knows about its application."""
+
+    request_mix: SyscallMix
+    response_mb: float
+    peak_rps: float
+    target_response_s: float
+    working_set_mb: float = 64.0
+    dataset_mb: float = 256.0
+
+    def __post_init__(self) -> None:
+        if self.response_mb < 0:
+            raise ValueError(f"negative response size: {self.response_mb}")
+        if self.peak_rps <= 0:
+            raise ValueError(f"peak rate must be positive, got {self.peak_rps}")
+        if self.target_response_s <= 0:
+            raise ValueError(f"SLO must be positive, got {self.target_response_s}")
+        if self.working_set_mb < 0 or self.dataset_mb < 0:
+            raise ValueError("working set and dataset must be non-negative")
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """The derivation, fully shown."""
+
+    requirement: ResourceRequirement
+    holding_time_s: float
+    unit_capacity_rps: float
+    max_utilisation: float
+    expected_response_s: float
+    expected_utilisation: float
+
+
+class ResourceProfiler:
+    """Derives ``<n, M>`` from a :class:`ServiceLoadSpec`."""
+
+    def __init__(
+        self,
+        syscall_model: SyscallCostModel = None,
+        inflation: float = SLOWDOWN_INFLATION,
+    ):
+        if inflation < 1.0:
+            raise ValueError(f"inflation must be >= 1, got {inflation}")
+        self.model = syscall_model or SyscallCostModel()
+        self.inflation = inflation
+
+    def holding_time_s(self, spec: ServiceLoadSpec, machine: MachineConfig) -> float:
+        """Per-request busy time of one machine-instance worker."""
+        cpu_s = self.model.mix_time_s(
+            spec.request_mix, machine.cpu_mhz * self.inflation, in_uml=True
+        )
+        wire_mb = spec.response_mb / TCP_EFFICIENCY
+        transmit_s = wire_mb * 8.0 / machine.bw_mbps
+        return cpu_s + transmit_s
+
+    def derive(
+        self, spec: ServiceLoadSpec, machine: MachineConfig = None
+    ) -> ProfileReport:
+        """The full derivation; raises :class:`InfeasibleSLOError` when
+        the SLO is unreachable with this M."""
+        machine = machine or MachineConfig()
+        # Memory and disk gates first: one unit must hold the guest OS
+        # floor + working set, and the dataset + a slim rootfs.
+        if machine.mem_mb < GUEST_OS_FLOOR_MB + spec.working_set_mb:
+            raise InfeasibleSLOError(
+                f"M.mem {machine.mem_mb} MB cannot hold the guest OS floor "
+                f"({GUEST_OS_FLOOR_MB} MB) plus working set {spec.working_set_mb} MB"
+            )
+        if machine.disk_mb < spec.dataset_mb:
+            raise InfeasibleSLOError(
+                f"M.disk {machine.disk_mb} MB cannot hold the {spec.dataset_mb} MB dataset"
+            )
+        holding = self.holding_time_s(spec, machine)
+        if holding >= spec.target_response_s:
+            raise InfeasibleSLOError(
+                f"a lone request takes {holding:.3f}s on one M; the SLO "
+                f"{spec.target_response_s:.3f}s is unreachable — use a larger M"
+            )
+        # response ~ holding / (1 - rho)  =>  rho_max = 1 - holding/target.
+        max_utilisation = 1.0 - holding / spec.target_response_s
+        unit_capacity = 1.0 / holding
+        n = max(1, math.ceil(spec.peak_rps / (max_utilisation * unit_capacity)))
+        expected_utilisation = spec.peak_rps * holding / n
+        expected_response = holding / (1.0 - expected_utilisation)
+        return ProfileReport(
+            requirement=ResourceRequirement(n=n, machine=machine),
+            holding_time_s=holding,
+            unit_capacity_rps=unit_capacity,
+            max_utilisation=max_utilisation,
+            expected_response_s=expected_response,
+            expected_utilisation=expected_utilisation,
+        )
+
+    def derive_requirement(
+        self, spec: ServiceLoadSpec, machine: MachineConfig = None
+    ) -> ResourceRequirement:
+        """Just the ``<n, M>``."""
+        return self.derive(spec, machine).requirement

@@ -1,0 +1,76 @@
+"""Resource requirements: machine configuration M and <n, M>.
+
+Paper §3: "the resource requirement of S [...] is specified as a tuple
+< n, M >, meaning that the hosting of service S requires n machines of
+configuration M - M is a tuple indicating the types and amounts of
+resources."  Table 1 gives the example: 512 MHz CPU, 256 MB memory,
+1 GB disk, 10 Mbps bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host.reservation import ResourceVector
+
+__all__ = ["MachineConfig", "ResourceRequirement", "TABLE1_EXAMPLE"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The machine configuration ``M`` (Table 1)."""
+
+    cpu_mhz: float = 512.0
+    mem_mb: float = 256.0
+    disk_mb: float = 1024.0
+    bw_mbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        for field in ("cpu_mhz", "mem_mb", "disk_mb", "bw_mbps"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"M.{field} must be positive, got {getattr(self, field)}")
+
+    def as_vector(self) -> ResourceVector:
+        """Raw (uninflated) resource vector of one machine instance."""
+        return ResourceVector(self.cpu_mhz, self.mem_mb, self.disk_mb, self.bw_mbps)
+
+    def table(self) -> str:
+        """Render Table 1."""
+        rows = [
+            ("CPU", f"{self.cpu_mhz:g}MHz"),
+            ("Memory", f"{self.mem_mb:g}MB"),
+            ("Disk", f"{self.disk_mb / 1024:g}GB"),
+            ("Bandwidth", f"{self.bw_mbps:g}Mbps"),
+        ]
+        width = max(len(r[0]) for r in rows)
+        lines = [f"{'Type of resource':<{max(width, 16)}}  Amount of resource"]
+        for name, amount in rows:
+            lines.append(f"{name:<{max(width, 16)}}  {amount}")
+        return "\n".join(lines)
+
+
+#: The exact Table 1 example.
+TABLE1_EXAMPLE = MachineConfig(cpu_mhz=512.0, mem_mb=256.0, disk_mb=1024.0, bw_mbps=10.0)
+
+
+@dataclass(frozen=True)
+class ResourceRequirement:
+    """The ``<n, M>`` requirement attached to a service creation call."""
+
+    n: int
+    machine: MachineConfig
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+
+    def total_vector(self) -> ResourceVector:
+        """n machine instances worth of raw resources."""
+        return self.machine.as_vector().scaled(float(self.n))
+
+    def with_n(self, n_new: int) -> "ResourceRequirement":
+        """The ``<n_new, M>`` used by SODA_service_resizing (§4.1)."""
+        return ResourceRequirement(n=n_new, machine=self.machine)
+
+    def __str__(self) -> str:
+        return f"<{self.n}, M(cpu={self.machine.cpu_mhz:g}MHz, mem={self.machine.mem_mb:g}MB)>"

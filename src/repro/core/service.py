@@ -1,0 +1,69 @@
+"""Service records and lifecycle.
+
+The SODA Master tracks every hosted service: its ASP, its requirement,
+the virtual service nodes it resolved to, its switch, and its state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import SODAError
+from repro.core.node import VirtualServiceNode
+from repro.core.requirements import ResourceRequirement
+from repro.core.switch import ServiceSwitch
+
+__all__ = ["ServiceState", "ServiceRecord"]
+
+
+class ServiceState(enum.Enum):
+    REQUESTED = "requested"
+    PRIMING = "priming"
+    RUNNING = "running"
+    RESIZING = "resizing"
+    TORN_DOWN = "torn-down"
+
+
+_TRANSITIONS = {
+    ServiceState.REQUESTED: {ServiceState.PRIMING, ServiceState.TORN_DOWN},
+    ServiceState.PRIMING: {ServiceState.RUNNING, ServiceState.TORN_DOWN},
+    ServiceState.RUNNING: {ServiceState.RESIZING, ServiceState.TORN_DOWN},
+    ServiceState.RESIZING: {ServiceState.RUNNING, ServiceState.TORN_DOWN},
+    ServiceState.TORN_DOWN: set(),
+}
+
+
+@dataclass
+class ServiceRecord:
+    """One hosted application service."""
+
+    name: str
+    asp: str
+    image_name: str
+    requirement: ResourceRequirement
+    state: ServiceState = ServiceState.REQUESTED
+    nodes: List[VirtualServiceNode] = field(default_factory=list)
+    switch: Optional[ServiceSwitch] = None
+    created_at: Optional[float] = None
+    primed_at: Optional[float] = None
+
+    def transition(self, new_state: ServiceState) -> None:
+        if new_state not in _TRANSITIONS[self.state]:
+            raise SODAError(
+                f"service {self.name!r}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is ServiceState.RUNNING
+
+    @property
+    def total_units(self) -> int:
+        return sum(node.units for node in self.nodes)
+
+    def node_endpoints(self) -> List[str]:
+        return [str(node.endpoint) for node in self.nodes]

@@ -1,0 +1,180 @@
+"""The per-service request switch.
+
+"After the SODA Daemons have finished service priming, the SODA Master
+will create a service switch for S [...] Co-located in one of the
+virtual service nodes of S, the service switch will accept and direct
+each client request to one of the virtual service nodes" (paper §3.4).
+
+The serving path modelled per request:
+
+1. the client's request message travels over the LAN to the switch's
+   home node;
+2. the switch spends a small slice of its home host's CPU classifying
+   the request and consulting the policy (this serialises through a
+   queue — a flooded switch backs up, the §3.5 DDoS caveat);
+3. the request is forwarded to the chosen back-end node (loopback when
+   co-located);
+4. the back-end serves it; the response body returns directly from the
+   back-end's host to the client (direct-server-return, so the switch
+   never carries response bandwidth).
+
+Crashed nodes are skipped at dispatch time; if no healthy node remains
+the request fails with :class:`ServiceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.core.config import ServiceConfigFile
+from repro.core.errors import SODAError
+from repro.core.node import (
+    NodeResponse,
+    Request,
+    ServiceUnavailableError,
+    VirtualServiceNode,
+)
+from repro.core.policies import SwitchingPolicy, WeightedRoundRobinPolicy
+from repro.net.http import REQUEST_SIZE_MB
+from repro.net.lan import LAN
+from repro.sim.kernel import Event, Simulator
+from repro.sim.monitor import Monitor
+from repro.sim.resources import Resource
+
+__all__ = ["ServiceSwitch"]
+
+# CPU work to accept, parse and dispatch one request at the switch,
+# megacycles (a user-space L7 dispatcher).
+SWITCH_CPU_MCYCLES = 0.6
+
+
+class ServiceSwitch:
+    """Directs client requests of one service to its nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_name: str,
+        lan: LAN,
+        nodes: List[VirtualServiceNode],
+        config: ServiceConfigFile,
+        policy: Optional[SwitchingPolicy] = None,
+        home_node: Optional[VirtualServiceNode] = None,
+    ):
+        if not nodes:
+            raise ValueError(f"switch for {service_name!r} needs at least one node")
+        self.sim = sim
+        self.service_name = service_name
+        self.lan = lan
+        self.nodes = list(nodes)
+        self.config = config
+        self.policy = policy or WeightedRoundRobinPolicy()
+        self.home_node = home_node or nodes[0]
+        if self.home_node not in self.nodes:
+            raise ValueError("home node must be one of the service's nodes")
+        # Switch processing serialises: one dispatcher thread.
+        self._dispatcher = Resource(sim, capacity=1)
+        self.dispatched = 0
+        self.rejected = 0
+        self.response_times = Monitor(f"switch:{service_name}")
+        self.per_node_count: Dict[str, int] = {n.name: 0 for n in nodes}
+
+    # -- policy management (the ASP-facing hook, §3.4) -----------------------
+    def set_policy(self, policy: SwitchingPolicy) -> None:
+        """Replace the request switching policy with an ASP-specific one."""
+        if not isinstance(policy, SwitchingPolicy):
+            raise TypeError("policy must be a SwitchingPolicy")
+        self.policy = policy
+
+    # -- node management (SODA Master's resizing hooks) ------------------------
+    def add_node(self, node: VirtualServiceNode) -> None:
+        if node in self.nodes:
+            raise ValueError(f"node {node.name} already behind the switch")
+        self.nodes.append(node)
+        self.per_node_count.setdefault(node.name, 0)
+
+    def remove_node(self, node: VirtualServiceNode) -> None:
+        if node not in self.nodes:
+            raise ValueError(f"node {node.name} not behind the switch")
+        if node is self.home_node and len(self.nodes) > 1:
+            raise ValueError("cannot remove the switch's home node")
+        self.nodes.remove(node)
+
+    def weights(self) -> Dict[str, int]:
+        """Node name -> relative capacity, read from the config file."""
+        by_endpoint = {(n.endpoint.ip, n.endpoint.port): n for n in self.nodes}
+        weights: Dict[str, int] = {}
+        for directive in self.config.backends:
+            node = by_endpoint.get((directive.ip, directive.port))
+            if node is not None:
+                weights[node.name] = directive.capacity
+        return weights
+
+    # -- dispatch ------------------------------------------------------------
+    def _healthy(self) -> List[VirtualServiceNode]:
+        return [n for n in self.nodes if n.is_available]
+
+    def select(self, request: Optional[Request] = None) -> VirtualServiceNode:
+        """Pick a back-end (no simulated time; used by serve and tests).
+
+        Requests targeting a component of a partitionable service are
+        restricted to that component's nodes.
+        """
+        candidates = self._healthy()
+        if request is not None and request.component:
+            candidates = [n for n in candidates if n.component == request.component]
+        if not candidates:
+            what = (
+                f"component {request.component!r}"
+                if request is not None and request.component
+                else "node"
+            )
+            raise ServiceUnavailableError(
+                f"service {self.service_name!r} has no healthy {what}"
+            )
+        choice = self.policy.choose(candidates, self.weights())
+        if choice not in candidates:
+            # Ill-behaving custom policy (§5): contain the damage to this
+            # service by falling back to the first healthy node.
+            choice = candidates[0]
+        return choice
+
+    def serve(self, request: Request) -> Generator[Event, Any, NodeResponse]:
+        """Full client-visible request path (simulated-process step)."""
+        if self.home_node.torn_down:
+            raise ServiceUnavailableError(f"switch of {self.service_name!r} is gone")
+        started = self.sim.now
+        # 1. Client -> switch home node.
+        inbound = self.lan.transfer(
+            request.client, self.home_node.host.nic, REQUEST_SIZE_MB,
+            label=f"switch:{self.service_name}:in",
+        )
+        yield inbound.done
+        # 2. Switch processing (serialised).
+        slot = self._dispatcher.request()
+        try:
+            yield slot
+            yield self.sim.timeout(
+                SWITCH_CPU_MCYCLES / self.home_node.host.cpu_mhz
+            )
+            backend = self.select(request)
+        finally:
+            self._dispatcher.release(slot)
+        # 3. Forward to the back-end (loopback when co-located).
+        forward = self.lan.transfer(
+            self.home_node.host.nic, backend.host.nic, REQUEST_SIZE_MB,
+            label=f"switch:{self.service_name}:fwd",
+        )
+        yield forward.done
+        # 4. Back-end serves; response returns directly to the client.
+        self.dispatched += 1
+        self.per_node_count[backend.name] = self.per_node_count.get(backend.name, 0) + 1
+        try:
+            response = yield self.sim.process(
+                backend.serve(request), name=f"serve:{backend.name}"
+            )
+        except SODAError:
+            self.rejected += 1
+            raise
+        self.response_times.record(self.sim.now, self.sim.now - started)
+        return response

@@ -1,0 +1,64 @@
+"""Shared experiment scaffolding: the §5 two-service deployment.
+
+Several experiments start from the same Figure 2 state: the honeypot
+(one node on *seattle*) plus the web content service with ``<3, M>``
+resolved to a 2M node on *seattle* and a 1M node on *tacoma*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.api import HUPTestbed
+from repro.core.auth import Credentials
+from repro.core.service import ServiceRecord
+from repro.image.profiles import paper_profiles
+from repro.workload.clients import ClientPool
+
+ASP_NAME = "acme"
+ASP_SECRET = "supersecret"
+
+
+@dataclass
+class PaperDeployment:
+    """The running §5 testbed state."""
+
+    testbed: HUPTestbed
+    web: ServiceRecord
+    honeypot: ServiceRecord
+    clients: ClientPool
+    credentials: Credentials
+
+
+def deploy_paper_services(
+    seed: int = 0,
+    n_clients: int = 4,
+    with_honeypot: bool = True,
+    web_n: int = 3,
+) -> PaperDeployment:
+    """Build the testbed and create the §5 services (honeypot first, so
+    the web service lands 2M on seattle + 1M on tacoma as in Figure 2)."""
+    testbed = build_paper_testbed(seed=seed)
+    repo = testbed.add_repository()
+    for image in paper_profiles().values():
+        repo.publish(image)
+    testbed.agent.register_asp(ASP_NAME, ASP_SECRET)
+    credentials = Credentials(ASP_NAME, ASP_SECRET)
+
+    def create(name: str, image: str, n: int) -> ServiceRecord:
+        requirement = ResourceRequirement(n=n, machine=MachineConfig())
+        testbed.run(
+            testbed.agent.service_creation(credentials, name, repo, image, requirement),
+            name=f"create:{name}",
+        )
+        return testbed.master.get_service(name)
+
+    honeypot = create("honeypot", "honeypot", 1) if with_honeypot else None
+    web = create("web", "web-content", web_n)
+    clients = ClientPool(testbed.lan, n=n_clients)
+    testbed.repo = repo
+    return PaperDeployment(
+        testbed=testbed, web=web, honeypot=honeypot, clients=clients,
+        credentials=credentials,
+    )

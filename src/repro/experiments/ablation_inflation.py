@@ -1,0 +1,110 @@
+"""Ablation — the slow-down inflation factor (paper footnote 2).
+
+The paper fixes the factor at 1.5 and calls choosing it "a challenging
+problem (and our on-going work)".  The ablation sweeps the factor and
+measures the trade-off it controls:
+
+* **capacity cost** — how many machine instances M the two-host HUP can
+  admit (higher inflation reserves more per unit);
+* **delivered performance** — whether a 1M virtual service node, run at
+  its inflated CPU slice but paying the real UML slow-down (~1.4x),
+  still delivers at least one native-M's worth of compute.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import MachineConfig, ResourceRequirement
+from repro.core.allocation import inflated_unit_vector, plan_allocation
+from repro.core.errors import AdmissionError
+from repro.guestos.syscall import SyscallCostModel
+from repro.host.machine import make_seattle, make_tacoma
+from repro.metrics.report import ExperimentResult
+from repro.sim.kernel import Simulator
+from repro.workload.apps import web_request_mix
+
+EXPERIMENT_ID = "ablation-inflation"
+TITLE = "Sweep of the footnote-2 slow-down inflation factor"
+
+FACTORS: List[float] = [1.0, 1.25, 1.5, 1.75, 2.0]
+DATASET_MB = 1.0
+
+
+def _admittable_units(inflation: float) -> int:
+    """Machine instances M the paper HUP can hold at this inflation."""
+    sim = Simulator()
+    hosts = [make_seattle(sim), make_tacoma(sim)]
+    availability = [(h.name, h.reservations.available) for h in hosts]
+    units = 0
+    while True:
+        requirement = ResourceRequirement(n=units + 1, machine=MachineConfig())
+        try:
+            plan_allocation(requirement, availability, inflation=inflation)
+        except AdmissionError:
+            return units
+        units += 1
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    factors = FACTORS[::2] if fast else FACTORS
+    model = SyscallCostModel()
+    mix = web_request_mix(DATASET_MB)
+    m = MachineConfig()
+    native_time = model.mix_time_s(mix, m.cpu_mhz, in_uml=False)
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "inflation", "HUP capacity (M units)",
+            "1M-node service time (s)", "vs native M", "meets native-M SLA",
+        ],
+    )
+    xs, capacities, ratios = [], [], []
+    for factor in factors:
+        capacity = _admittable_units(factor)
+        unit = inflated_unit_vector(
+            ResourceRequirement(n=1, machine=m), inflation=factor
+        )
+        node_time = model.mix_time_s(mix, unit.cpu_mhz, in_uml=True)
+        ratio = node_time / native_time
+        result.add_row(
+            f"{factor:.2f}", capacity, f"{node_time * 1e3:.3f} ms",
+            f"{ratio:.2f}x", "yes" if ratio <= 1.0 else "no",
+        )
+        xs.append(factor)
+        capacities.append(float(capacity))
+        ratios.append(ratio)
+    result.series["HUP capacity (M units) vs inflation"] = (xs, capacities)
+    result.series["node/native service-time ratio vs inflation"] = (xs, ratios)
+
+    app_slowdown = model.application_slowdown(mix)
+    result.compare(
+        "application slow-down the factor must cover", None, app_slowdown,
+        note="paper picked 1.5 'conservatively'",
+    )
+    # The paper's 1.5 should land a 1M node within a few percent of
+    # native-M performance (the factor is a conservative *estimate* of a
+    # dataset-dependent slow-down, not a hard bound).
+    paper_unit = inflated_unit_vector(
+        ResourceRequirement(n=1, machine=m), inflation=1.5
+    )
+    paper_ratio = model.mix_time_s(mix, paper_unit.cpu_mhz, in_uml=True) / native_time
+    result.compare(
+        "1.5x node within 5% of native-M (time ratio)", 1.0, paper_ratio,
+        tolerance_rel=0.05,
+    )
+    if 1.0 in factors and 1.5 in factors:
+        capacity_no_inflation = capacities[xs.index(1.0)]
+        capacity_paper = capacities[xs.index(1.5)]
+        result.compare(
+            "capacity cost of 1.5x vs 1.0x (fraction kept)", None,
+            capacity_paper / capacity_no_inflation,
+        )
+    result.notes = (
+        "Inflation >= the real UML application slow-down keeps a 1M node "
+        "at native-M speed; every extra 0.25x of conservatism costs the "
+        "HUP admitted capacity."
+    )
+    return result

@@ -1,0 +1,84 @@
+"""Ablation — the Master's placement strategy.
+
+The paper's two-host prototype effectively uses first-fit.  The
+ablation replays an arrival sequence of service creation requests of
+mixed sizes against first-fit, best-fit and worst-fit and reports how
+many services each admits and how evenly utilisation spreads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.allocation import PlacementStrategy, plan_allocation
+from repro.core.errors import AdmissionError
+from repro.core.requirements import MachineConfig, ResourceRequirement
+from repro.host.machine import make_seattle, make_tacoma
+from repro.host.reservation import ResourceVector
+from repro.metrics.report import ExperimentResult
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+
+EXPERIMENT_ID = "ablation-placement"
+TITLE = "Placement strategies: admissions and load spread"
+
+N_REQUESTS = 12
+
+
+def _request_sizes(seed: int, n: int) -> List[int]:
+    streams = RandomStreams(seed)
+    return [1 + streams.choice("placement-sizes", 2) for _ in range(n)]  # 1 or 2 units
+
+
+def _replay(strategy: PlacementStrategy, sizes: List[int]) -> Tuple[int, float]:
+    """(services admitted, CPU utilisation spread across hosts)."""
+    sim = Simulator()
+    hosts = [make_seattle(sim), make_tacoma(sim)]
+    admitted = 0
+    for n_units in sizes:
+        requirement = ResourceRequirement(n=n_units, machine=MachineConfig())
+        availability = [(h.name, h.reservations.available) for h in hosts]
+        try:
+            plan = plan_allocation(requirement, availability, strategy=strategy)
+        except AdmissionError:
+            continue
+        for assignment in plan.assignments:
+            host = next(h for h in hosts if h.name == assignment.host_name)
+            host.reservations.reserve(plan.node_vector(assignment))
+        admitted += 1
+    utils = [h.reservations.utilisation()["cpu"] for h in hosts]
+    return admitted, float(np.max(utils) - np.min(utils))
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    sizes = _request_sizes(seed, 6 if fast else N_REQUESTS)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["strategy", "services admitted", "CPU utilisation spread"],
+    )
+    outcomes = {}
+    for strategy in PlacementStrategy:
+        admitted, spread = _replay(strategy, sizes)
+        outcomes[strategy] = (admitted, spread)
+        result.add_row(strategy.value, admitted, f"{spread:.3f}")
+
+    ff_admitted, ff_spread = outcomes[PlacementStrategy.FIRST_FIT]
+    wf_admitted, wf_spread = outcomes[PlacementStrategy.WORST_FIT]
+    result.compare(
+        "worst-fit spreads load more evenly than first-fit", 1.0,
+        float(wf_spread <= ff_spread), tolerance_rel=0.0,
+    )
+    result.compare(
+        "admissions, first-fit", None, float(ff_admitted),
+        note=f"request sizes replayed: {sizes}",
+    )
+    result.compare("admissions, worst-fit", None, float(wf_admitted))
+    result.notes = (
+        "First/best-fit pack seattle before touching tacoma (fewer "
+        "fragmented nodes); worst-fit balances utilisation, which helps "
+        "co-located services' burst headroom."
+    )
+    return result

@@ -1,0 +1,91 @@
+"""Ablation — request switching policies on heterogeneous nodes.
+
+The paper's default is weighted round-robin; §3.4 lets the ASP replace
+it.  The ablation compares WRR, plain round-robin, least-connections
+and weighted-random on the Figure 2 layout (2M + 1M nodes), where a
+weight-blind policy overloads the small node.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import (
+    LeastConnectionsPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    WeightedRoundRobinPolicy,
+)
+from repro.experiments._testbed import deploy_paper_services
+from repro.metrics.report import ExperimentResult
+from repro.sim.rng import RandomStreams
+from repro.workload.siege import Siege
+
+EXPERIMENT_ID = "ablation-policies"
+TITLE = "Switching policies on heterogeneous (2M + 1M) nodes"
+
+DATASET_MB = 1.0
+RATE_RPS = 7.0
+DURATION_S = 60.0
+
+
+def _measure(policy_factory, seed: int, duration: float):
+    deployment = deploy_paper_services(seed=seed)
+    testbed = deployment.testbed
+    deployment.web.switch.set_policy(policy_factory())
+    siege = Siege(
+        testbed.sim, deployment.web.switch, deployment.clients,
+        RandomStreams(seed).spawn(f"pol-{policy_factory.__name__}"),
+        dataset_mb=DATASET_MB,
+    )
+    report = testbed.run(siege.run_open_loop(rate_rps=RATE_RPS, duration_s=duration))
+    tacoma_node = next(n for n in deployment.web.nodes if n.host.name == "tacoma")
+    return report, tacoma_node.name
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    duration = 20.0 if fast else DURATION_S
+    policies = [
+        ("weighted-round-robin (default)", WeightedRoundRobinPolicy),
+        ("round-robin (weight-blind)", RoundRobinPolicy),
+        ("least-connections", LeastConnectionsPolicy),
+        ("weighted-random", lambda: RandomPolicy(RandomStreams(seed))),
+    ]
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "policy", "mean RT (s)", "p95 RT (s)",
+            "tacoma share of requests",
+        ],
+    )
+    means = {}
+    tacoma_shares = {}
+    for label, factory in policies:
+        factory.__name__ = getattr(factory, "__name__", label)
+        report, tacoma_name = _measure(factory, seed, duration)
+        mean_rt = report.mean_response_s()
+        p95 = report.overall.percentile(95)
+        share = report.requests_served_by(tacoma_name) / max(report.completed, 1)
+        result.add_row(label, f"{mean_rt:.3f}", f"{p95:.3f}", f"{share:.2f}")
+        means[label] = mean_rt
+        tacoma_shares[label] = share
+
+    wrr = "weighted-round-robin (default)"
+    rr = "round-robin (weight-blind)"
+    result.compare(
+        "WRR sends tacoma ~1/3 of requests", 1 / 3, tacoma_shares[wrr],
+        tolerance_rel=0.15,
+    )
+    result.compare(
+        "blind RR sends tacoma ~1/2 of requests", 0.5, tacoma_shares[rr],
+        tolerance_rel=0.15,
+    )
+    result.compare(
+        "weight-blind RR mean RT penalty (x vs WRR)", None, means[rr] / means[wrr],
+        note="> 1: overloading the 1M node hurts",
+    )
+    result.notes = (
+        "Weight-blind round-robin pushes half the load onto the 1M "
+        "tacoma node, roughly doubling its utilisation relative to WRR; "
+        "least-connections adapts without configured weights."
+    )
+    return result

@@ -1,0 +1,70 @@
+"""§4.3 (text) — active service image downloading time.
+
+"We have measured the downloading time for service images of different
+sizes within the 100Mbps LAN.  As expected, the downloading time grows
+linearly with the size of the service image."  The experiment downloads
+synthetic images of increasing size from an ASP repository to a HUP
+host and fits a line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.guestos.rootfs import RootFilesystem
+from repro.image.image import ServiceImage
+from repro.image.repository import ImageRepository
+from repro.metrics.report import ExperimentResult
+from repro.metrics.stats import linear_fit
+from repro.net.http import HttpModel, TCP_EFFICIENCY
+from repro.net.lan import LAN
+from repro.sim.kernel import Simulator
+
+EXPERIMENT_ID = "download"
+TITLE = "Service image downloading time vs image size (100 Mbps LAN)"
+
+SIZES_MB: List[float] = [10.0, 25.0, 50.0, 100.0, 200.0, 400.0]
+
+
+def _synthetic_image(size_mb: float) -> ServiceImage:
+    rootfs = RootFilesystem.build(
+        f"synthetic-{size_mb:g}", base_mb=size_mb, services=[], data_mb=0.0
+    )
+    return ServiceImage(
+        name=f"img-{size_mb:g}", rootfs=rootfs, required_services=(),
+        entrypoint="noop",
+    )
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    sizes = SIZES_MB[:4] if fast else SIZES_MB
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["image size (MB)", "download time (s)", "goodput (Mbps)"],
+    )
+    times = []
+    for size in sizes:
+        sim = Simulator()
+        lan = LAN(sim, bandwidth_mbps=100.0)
+        http = HttpModel(sim, lan)
+        repo = ImageRepository("asp-repo", lan.nic("asp-repo", 100.0))
+        repo.publish(_synthetic_image(size))
+        hup_nic = lan.nic("hup-host", 100.0)
+        proc = sim.process(repo.download(http, hup_nic, f"img-{size:g}"))
+        stats = sim.run_until_process(proc)
+        times.append(stats.elapsed)
+        result.add_row(size, f"{stats.elapsed:.3f}", f"{stats.goodput_mbps:.1f}")
+
+    slope, intercept, r_squared = linear_fit(sizes, times)
+    result.series["download time (s) vs image size (MB)"] = (sizes, times)
+    result.compare(
+        "linearity r^2", 1.0, r_squared, tolerance_rel=0.01,
+        note="paper: 'grows linearly with the size of the service image'",
+    )
+    expected_slope = 8.0 / (100.0 * TCP_EFFICIENCY)  # s per MB at ~94 Mbps goodput
+    result.compare("slope (s/MB)", expected_slope, slope, tolerance_rel=0.05)
+    result.notes = (
+        f"fit: time = {slope:.4f} * size + {intercept:.4f}  (r^2 = {r_squared:.5f})"
+    )
+    return result

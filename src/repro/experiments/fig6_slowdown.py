@@ -1,0 +1,145 @@
+"""Figure 6 — measuring slow-down at application level.
+
+"Under the same service load, we run the web content service in three
+different scenarios: (1) in one virtual service node with service
+switch; (2) *directly* on the host OS with service switch; and (3)
+*directly* on the host OS without service switch.  In all three
+scenarios, there is *no* other service load in the system.  [...] We
+again observe a slow-down incurred by the virtual service node.
+However, the slow-down factor is much lower than the one indicated in
+Table 4; and it remains approximately the same under different dataset
+sizes" (§5).
+
+Each scenario hosts the same web content service on *seattle* with the
+full machine available (no other load), differing only in (a) whether
+requests pass through the service switch and (b) whether the service
+runs inside a UML (syscall interposition) or natively on the host OS.
+A single closed-loop client measures per-request response time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.core.config import ServiceConfigFile
+from repro.core.node import VirtualServiceNode
+from repro.core.switch import ServiceSwitch
+from repro.guestos.uml import UserModeLinux
+from repro.host.bridge import Endpoint
+from repro.host.machine import make_seattle
+from repro.image.profiles import make_s1_web_content
+from repro.metrics.report import ExperimentResult
+from repro.net.lan import LAN
+from repro.sim.kernel import Event, Simulator
+from repro.sim.monitor import Monitor
+from repro.workload.apps import web_request
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Measuring slow-down at application level (request response time)"
+
+DATASET_SIZES_MB: List[float] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+REQUESTS_PER_POINT = 30
+
+
+def _build_node(native: bool):
+    """One web node on an otherwise idle seattle, full machine speed."""
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=100.0)
+    host = make_seattle(sim, lan)
+    image = make_s1_web_content()
+    vm = UserModeLinux(
+        sim, name="web-fig6", host=host, rootfs=image.tailored_rootfs(),
+        guest_mem_mb=256.0,
+    )
+    sim.run_until_process(sim.process(vm.boot()))
+    vm.ip = "128.10.9.125"
+    node = VirtualServiceNode(
+        sim=sim, name="web-fig6", vm=vm, lan=lan,
+        endpoint=Endpoint("128.10.9.125", 8080), units=1,
+        worker_mhz=host.cpu_mhz,  # no other load: the whole machine
+        native=native,
+    )
+    client = lan.nic("client", 100.0)
+    return sim, lan, node, client
+
+
+def _measure(native: bool, with_switch: bool, dataset_mb: float, n_requests: int) -> float:
+    sim, lan, node, client = _build_node(native)
+    monitor = Monitor("fig6")
+    if with_switch:
+        config = ServiceConfigFile("web")
+        config.add_backend(node.endpoint.ip, node.endpoint.port, 1)
+        switch = ServiceSwitch(sim, "web", lan, [node], config)
+
+    def client_proc(sim: Simulator) -> Generator[Event, Any, None]:
+        for _ in range(n_requests):
+            request = web_request(client, dataset_mb)
+            started = sim.now
+            if with_switch:
+                yield sim.process(switch.serve(request))
+            else:
+                inbound = lan.transfer(client, node.host.nic, 0.0005)
+                yield inbound.done
+                yield sim.process(node.serve(request))
+            monitor.record(sim.now, sim.now - started)
+
+    sim.run_until_process(sim.process(client_proc(sim)))
+    return monitor.mean()
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    sizes = DATASET_SIZES_MB[:3] if fast else DATASET_SIZES_MB
+    n_requests = 8 if fast else REQUESTS_PER_POINT
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "dataset (MB)", "VM + switch (s)", "host + switch (s)",
+            "host direct (s)", "VM/host slow-down", "switch overhead (s)",
+        ],
+    )
+    xs, vm_rts, host_switch_rts, host_direct_rts, slowdowns = [], [], [], [], []
+    for dataset_mb in sizes:
+        vm_rt = _measure(native=False, with_switch=True, dataset_mb=dataset_mb, n_requests=n_requests)
+        host_rt = _measure(native=True, with_switch=True, dataset_mb=dataset_mb, n_requests=n_requests)
+        direct_rt = _measure(native=True, with_switch=False, dataset_mb=dataset_mb, n_requests=n_requests)
+        slowdown = vm_rt / host_rt
+        result.add_row(
+            dataset_mb, f"{vm_rt:.4f}", f"{host_rt:.4f}", f"{direct_rt:.4f}",
+            f"{slowdown:.2f}x", f"{host_rt - direct_rt:.5f}",
+        )
+        xs.append(dataset_mb)
+        vm_rts.append(vm_rt)
+        host_switch_rts.append(host_rt)
+        host_direct_rts.append(direct_rt)
+        slowdowns.append(slowdown)
+        result.compare(
+            f"ordering holds @ {dataset_mb} MB (VM >= host+switch >= direct)",
+            None, float(vm_rt >= host_rt >= direct_rt),
+        )
+    result.series["VM + switch response time (s)"] = (xs, vm_rts)
+    result.series["host + switch response time (s)"] = (xs, host_switch_rts)
+    result.series["host direct response time (s)"] = (xs, host_direct_rts)
+
+    mean_slowdown = sum(slowdowns) / len(slowdowns)
+    result.compare(
+        "application-level slow-down (x)", None, mean_slowdown,
+        note="paper: 'much lower' than Table 4's ~23x",
+    )
+    result.compare(
+        "slow-down << syscall-level ratio (23x)", 1.0,
+        float(mean_slowdown < 5.0), tolerance_rel=0.0,
+    )
+    result.compare(
+        "slow-down spread across sizes", 0.0,
+        max(slowdowns) - min(slowdowns), tolerance_rel=0.2,
+        note="paper: 'remains approximately the same' across sizes",
+    )
+    result.notes = (
+        "The end-to-end slow-down combines the CPU-side application "
+        "slow-down (~1.4x, syscall interposition) with the guest's "
+        "network-transmission slow-down (virtual NIC at ~0.65 of wire "
+        "rate) — both far below Table 4's per-syscall ~23x, and flat "
+        "across dataset sizes as the paper observed."
+    )
+    return result

@@ -1,0 +1,137 @@
+"""Experiment registry and CLI.
+
+``soda-experiments list`` shows the catalogue; ``soda-experiments run
+<id> [--seed N] [--fast]`` runs one; ``soda-experiments all`` runs the
+lot and prints a summary.  ``soda-experiments report`` emits the
+markdown block EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.metrics.report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+
+def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
+    # Imported lazily so `soda-experiments list` stays instant.
+    from repro.experiments import (
+        ablation_bridge_proxy,
+        ablation_ddos,
+        ablation_inflation,
+        ablation_placement,
+        ablation_policies,
+        ablation_scheduler_shares,
+        ablation_tailoring,
+        download_time,
+        fig3_isolation,
+        fig4_loadbalance,
+        fig5_cpushares,
+        fig6_slowdown,
+        table1_requirements,
+        table2_bootstrap,
+        table3_config,
+        table4_syscall,
+    )
+
+    modules = [
+        table1_requirements,
+        table2_bootstrap,
+        table3_config,
+        table4_syscall,
+        fig3_isolation,
+        fig4_loadbalance,
+        fig5_cpushares,
+        fig6_slowdown,
+        download_time,
+        ablation_bridge_proxy,
+        ablation_ddos,
+        ablation_inflation,
+        ablation_policies,
+        ablation_placement,
+        ablation_scheduler_shares,
+        ablation_tailoring,
+    ]
+    return {m.EXPERIMENT_ID: m.run for m in modules}
+
+
+#: experiment id -> run callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def _experiments() -> Dict[str, Callable[..., ExperimentResult]]:
+    if not EXPERIMENTS:
+        EXPERIMENTS.update(_registry())
+    return EXPERIMENTS
+
+
+def run_experiment(experiment_id: str, seed: int = 0, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    experiments = _experiments()
+    if experiment_id not in experiments:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(experiments)}"
+        )
+    return experiments[experiment_id](seed=seed, fast=fast)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="soda-experiments",
+        description="Reproduce the SODA (HPDC 2003) tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--fast", action="store_true")
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--fast", action="store_true")
+    report_parser = sub.add_parser("report", help="emit EXPERIMENTS.md markdown")
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument("--fast", action="store_true")
+    report_parser.add_argument("--out", default=None, help="write to a file")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id in _experiments():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        result = run_experiment(args.experiment_id, seed=args.seed, fast=args.fast)
+        print(result.render())
+        return 0 if result.all_within_tolerance else 1
+    if args.command == "report":
+        from repro.experiments.report_md import generate_markdown
+
+        markdown = generate_markdown(seed=args.seed, fast=args.fast)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(markdown)
+            print(f"wrote {args.out}")
+        else:
+            print(markdown)
+        return 0
+    # all
+    failures = []
+    for experiment_id in _experiments():
+        result = run_experiment(experiment_id, seed=args.seed, fast=args.fast)
+        print(result.render())
+        print()
+        if not result.all_within_tolerance:
+            failures.append(experiment_id)
+    if failures:
+        print(f"OUT OF TOLERANCE: {failures}", file=sys.stderr)
+        return 1
+    print("all experiments within tolerance")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Table 1 — example machine configuration M in requirement <n, M>.
+
+A specification artefact rather than a measurement: the experiment
+renders the configuration and validates the ``<n, M>`` arithmetic the
+rest of the system builds on.
+"""
+
+from __future__ import annotations
+
+from repro.core.requirements import TABLE1_EXAMPLE, ResourceRequirement
+from repro.metrics.report import ExperimentResult
+
+EXPERIMENT_ID = "table1"
+TITLE = "Example machine configuration M in resource requirement <n, M>"
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Type of resource", "Amount of resource"],
+    )
+    m = TABLE1_EXAMPLE
+    result.add_row("CPU", f"{m.cpu_mhz:g}MHz")
+    result.add_row("Memory", f"{m.mem_mb:g}MB")
+    result.add_row("Disk", f"{m.disk_mb / 1024:g}GB")
+    result.add_row("Bandwidth", f"{m.bw_mbps:g}Mbps")
+
+    result.compare("M.cpu (MHz)", 512.0, m.cpu_mhz, tolerance_rel=0.0)
+    result.compare("M.memory (MB)", 256.0, m.mem_mb, tolerance_rel=0.0)
+    result.compare("M.disk (MB)", 1024.0, m.disk_mb, tolerance_rel=0.0)
+    result.compare("M.bandwidth (Mbps)", 10.0, m.bw_mbps, tolerance_rel=0.0)
+
+    requirement = ResourceRequirement(n=3, machine=m)
+    total = requirement.total_vector()
+    result.compare("<3, M> total CPU (MHz)", 1536.0, total.cpu_mhz, tolerance_rel=0.0)
+    result.notes = f"requirement rendered: {requirement}"
+    return result

@@ -1,0 +1,89 @@
+"""Table 2 — service bootstrapping time for four application services.
+
+Boots each of S_I..S_IV (after the Daemon's rootfs tailoring) as an
+actual UML instance on fresh *seattle* and *tacoma* hosts, measuring
+simulated wall-clock from boot start to the guest's services being up.
+Matches the paper's protocol: image download time is NOT included
+(Table 2 isolates bootstrapping; downloading is §4.3's separate
+linear-in-size measurement, reproduced in ``download_time``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.guestos.uml import UserModeLinux
+from repro.host.machine import make_seattle, make_tacoma
+from repro.image.profiles import paper_profiles
+from repro.metrics.report import ExperimentResult
+from repro.sim.kernel import Simulator
+
+EXPERIMENT_ID = "table2"
+TITLE = "Service bootstrapping time for four different application services"
+
+GUEST_MEM_MB = 256.0
+
+#: Paper Table 2 (seconds): {profile: (seattle, tacoma)}.
+PAPER_TABLE2: Dict[str, Tuple[float, float]] = {
+    "S_I": (3.0, 4.0),
+    "S_II": (2.0, 3.0),
+    "S_III": (4.0, 16.0),
+    "S_IV": (22.0, 42.0),
+}
+
+
+def _boot_once(host_factory, image) -> Tuple[float, bool]:
+    """Boot the tailored image on a fresh host; (seconds, used RAM disk)."""
+    sim = Simulator()
+    host = host_factory(sim)
+    vm = UserModeLinux(
+        sim,
+        name=f"{image.name}-probe",
+        host=host,
+        rootfs=image.tailored_rootfs(),
+        guest_mem_mb=GUEST_MEM_MB,
+    )
+    process = sim.process(vm.boot())
+    plan = sim.run_until_process(process)
+    return sim.now, plan.ramdisk
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=[
+            "App. service", "Linux configuration", "Image size",
+            "Time (seattle)", "Time (tacoma)", "Mount (seattle/tacoma)",
+        ],
+    )
+    profiles = paper_profiles()
+    for key, image in profiles.items():
+        seattle_s, seattle_ram = _boot_once(make_seattle, image)
+        tacoma_s, tacoma_ram = _boot_once(make_tacoma, image)
+        result.add_row(
+            key,
+            image.rootfs.name,
+            f"{image.size_mb:.1f}MB",
+            f"{seattle_s:.1f} sec.",
+            f"{tacoma_s:.1f} sec.",
+            f"{'ram' if seattle_ram else 'disk'}/{'ram' if tacoma_ram else 'disk'}",
+        )
+        paper_seattle, paper_tacoma = PAPER_TABLE2[key]
+        result.compare(f"{key} seattle (s)", paper_seattle, seattle_s, tolerance_rel=0.25)
+        result.compare(f"{key} tacoma (s)", paper_tacoma, tacoma_s, tolerance_rel=0.25)
+
+    # Shape checks the paper calls out explicitly.
+    s3_seattle, _ = _boot_once(make_seattle, profiles["S_III"])
+    s4_seattle, _ = _boot_once(make_seattle, profiles["S_IV"])
+    result.compare(
+        "S_III boots faster than S_IV despite a larger image (ratio)",
+        None,
+        s4_seattle / s3_seattle,
+        note="paper: boot time depends on services, not image size",
+    )
+    result.notes = (
+        "Tailored S_III (400 MB) RAM-disk mounts on seattle (2 GB) but "
+        "disk-mounts on tacoma (768 MB) — the source of the 4x gap."
+    )
+    return result

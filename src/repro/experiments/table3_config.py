@@ -1,0 +1,38 @@
+"""Table 3 — a sample service configuration file after priming.
+
+Runs the actual Figure 2 creation sequence (honeypot, then the web
+content service with ``<3, M>``) and prints the configuration file the
+SODA Master wrote into the switch.  The paper's sample:
+
+    | Directive | IP address   | Port number | Capacity |
+    | BackEnd   | 128.10.9.125 | 8080        | 2        |
+    | BackEnd   | 128.10.9.126 | 8080        | 1        |
+"""
+
+from __future__ import annotations
+
+from repro.experiments._testbed import deploy_paper_services
+from repro.metrics.report import ExperimentResult
+
+EXPERIMENT_ID = "table3"
+TITLE = "Sample service configuration file created by the SODA Master"
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    deployment = deploy_paper_services(seed=seed)
+    config = deployment.web.switch.config
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Directive", "IP address", "Port number", "Capacity"],
+    )
+    for directive in config.backends:
+        result.add_row("BackEnd", directive.ip, directive.port, directive.capacity)
+
+    capacities = sorted((d.capacity for d in config.backends), reverse=True)
+    result.compare("number of BackEnd lines", 2, len(config), tolerance_rel=0.0)
+    result.compare("largest node capacity (M)", 2, capacities[0], tolerance_rel=0.0)
+    result.compare("smallest node capacity (M)", 1, capacities[-1], tolerance_rel=0.0)
+    result.compare("total capacity (= n of <n, M>)", 3, config.total_capacity, tolerance_rel=0.0)
+    result.notes = "rendered file:\n" + config.render()
+    return result

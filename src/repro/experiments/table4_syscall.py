@@ -1,0 +1,51 @@
+"""Table 4 — measuring slow-down at system call level (clock cycles).
+
+Regenerates the six-syscall table from the interposition cost model and
+compares every cell against the paper's measurement.
+"""
+
+from __future__ import annotations
+
+from repro.guestos.syscall import (
+    PAPER_TABLE4_HOST_CYCLES,
+    PAPER_TABLE4_UML_CYCLES,
+    SyscallCostModel,
+)
+from repro.metrics.report import ExperimentResult
+
+EXPERIMENT_ID = "table4"
+TITLE = "Measuring slow-down at system call level (clock cycles)"
+
+
+def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
+    model = SyscallCostModel()
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["System call", "in UML", "in host OS", "slow-down"],
+    )
+    for name, row in model.table4().items():
+        result.add_row(
+            name, row["in_uml"], row["in_host_os"],
+            f"{row['in_uml'] / row['in_host_os']:.1f}x",
+        )
+        result.compare(
+            f"{name} UML cycles", PAPER_TABLE4_UML_CYCLES[name],
+            model.uml_cycles(name), tolerance_rel=0.05,
+        )
+        result.compare(
+            f"{name} host cycles", PAPER_TABLE4_HOST_CYCLES[name],
+            model.host_cycles(name), tolerance_rel=0.01,
+        )
+    slowdowns = [model.syscall_slowdown(n) for n in model.known_syscalls]
+    result.compare(
+        "mean syscall slow-down (x)", 23.0, sum(slowdowns) / len(slowdowns),
+        tolerance_rel=0.2,
+        note="paper's cells imply ~20-27x per syscall",
+    )
+    result.notes = (
+        "UML cost = host cost + tracing-thread interception "
+        f"(~{model.interception_cycles:.0f} cycles); gettimeofday pays "
+        f"an extra ~{model.gettimeofday_extra:.0f} cycles."
+    )
+    return result

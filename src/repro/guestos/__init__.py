@@ -1,0 +1,52 @@
+"""Guest OS (User-Mode Linux) substrate.
+
+SODA runs each application service inside a UML guest OS on top of the
+host OS (paper §4.2).  This package models that layer:
+
+* :mod:`repro.guestos.services` — the registry of Linux system services
+  (init scripts in ``/etc/``) with start costs, on-disk sizes, and
+  dependency/library graphs; the raw material for rootfs tailoring.
+* :mod:`repro.guestos.rootfs` — guest root filesystems and the SODA
+  Daemon's tailoring step (§4.3): retain only the system services the
+  application needs, dependency-closed, with only the necessary
+  libraries.
+* :mod:`repro.guestos.syscall` — the system-call interposition cost
+  model calibrated to the paper's Table 4 (a tracing thread redirects
+  every guest syscall into the host kernel).
+* :mod:`repro.guestos.boot` — the boot-time model behind Table 2
+  (mount the rootfs in RAM disk or from disk, init the guest kernel,
+  start the retained services).
+* :mod:`repro.guestos.uml` — the virtual machine itself: lifecycle,
+  memory cap, guest process table, and the guest-root / host-root
+  privilege separation that provides fault/attack isolation (§2.1).
+* :mod:`repro.guestos.proc` — guest processes, users, and ``ps -ef``
+  rendering (Figure 3).
+"""
+
+from repro.guestos.boot import BootPlan, BootTimeModel
+from repro.guestos.proc import GuestProcess, ProcessState, ProcessTable
+from repro.guestos.rootfs import RootFilesystem, TailoringError
+from repro.guestos.services import (
+    ServiceRegistry,
+    SystemService,
+    default_registry,
+)
+from repro.guestos.syscall import SyscallCostModel
+from repro.guestos.uml import UmlError, UmlState, UserModeLinux
+
+__all__ = [
+    "BootPlan",
+    "BootTimeModel",
+    "GuestProcess",
+    "ProcessState",
+    "ProcessTable",
+    "RootFilesystem",
+    "ServiceRegistry",
+    "SyscallCostModel",
+    "SystemService",
+    "TailoringError",
+    "UmlError",
+    "UmlState",
+    "UserModeLinux",
+    "default_registry",
+]

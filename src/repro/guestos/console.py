@@ -1,0 +1,91 @@
+"""Guest console: the Figure 3 screenshot view.
+
+The paper's Figure 3 shows two xterms, one per virtual service node,
+each displaying::
+
+    Welcome to SODA
+    Kernel 2.4.19 on a i686
+    web login: root
+    Password:
+    [root@Web /root]# ps -ef
+
+This module renders that interaction: an ASP administrator logs into
+their own guest (as *guest* root — the §2.1 administration-isolation
+boundary) and runs commands against the guest's state.  A crashed guest
+has no console.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.guestos.uml import UmlState, UserModeLinux
+
+__all__ = ["ConsoleError", "GuestConsole"]
+
+KERNEL_BANNER = "Kernel 2.4.19 on a i686"
+
+
+class ConsoleError(RuntimeError):
+    """Login or command failure on a guest console."""
+
+
+class GuestConsole:
+    """An interactive console attached to one UML guest."""
+
+    def __init__(self, vm: UserModeLinux, hostname: str):
+        if not hostname:
+            raise ValueError("hostname cannot be empty")
+        self.vm = vm
+        self.hostname = hostname
+        self.logged_in_user: str = ""
+        self.transcript: List[str] = []
+
+    # -- session ------------------------------------------------------------
+    def banner(self) -> str:
+        """The pre-login screen of Figure 3."""
+        return f"Welcome to SODA\n{KERNEL_BANNER}\n{self.hostname} login:"
+
+    def login(self, user: str = "root") -> str:
+        """Log in; only works while the guest is running."""
+        if self.vm.state is not UmlState.RUNNING:
+            raise ConsoleError(
+                f"no console: guest {self.vm.name!r} is {self.vm.state.value}"
+            )
+        self.logged_in_user = user
+        lines = [self.banner() + f" {user}", "Password:"]
+        self.transcript.extend(lines)
+        return "\n".join(lines)
+
+    @property
+    def prompt(self) -> str:
+        if not self.logged_in_user:
+            raise ConsoleError("not logged in")
+        return f"[{self.logged_in_user}@{self.hostname} /root]#"
+
+    # -- commands --------------------------------------------------------------
+    def run(self, command: str) -> str:
+        """Execute a (whitelisted) command against guest state."""
+        if not self.logged_in_user:
+            raise ConsoleError("not logged in")
+        if self.vm.state is not UmlState.RUNNING:
+            raise ConsoleError(f"guest {self.vm.name!r} died (console hung)")
+        handlers: Dict[str, Callable[[], str]] = {
+            "ps -ef": lambda: self.vm.processes.ps_ef(),
+            "hostname": lambda: self.hostname,
+            "uname -a": lambda: (
+                f"Linux {self.hostname} 2.4.19 #1 SMP i686 unknown"
+            ),
+            "whoami": lambda: self.logged_in_user,
+            "id": lambda: "uid=0(root) gid=0(root)  # guest root, NOT host root",
+        }
+        if command not in handlers:
+            raise ConsoleError(f"command not found: {command}")
+        output = handlers[command]()
+        self.transcript.append(f"{self.prompt} {command}")
+        self.transcript.append(output)
+        return output
+
+    def screenshot(self) -> str:
+        """The accumulated terminal contents (the Figure 3 artefact)."""
+        return "\n".join(self.transcript)

@@ -1,0 +1,185 @@
+"""Guest filesystem trees.
+
+An ASP's image is "properly organized in a file system with one root"
+(paper §4.3), and the Daemon's tailoring physically edits that tree:
+init scripts live under ``/etc/init.d``, shared libraries under
+``/usr/lib``, the application under the paths its RPM declares.  This
+module provides the tree itself (:class:`FileTree`) and the
+materialisation of a :class:`~repro.guestos.rootfs.RootFilesystem`
+into one (:func:`materialise_rootfs`), so users can inspect exactly
+what a tailored image contains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.guestos.rootfs import RootFilesystem
+
+__all__ = ["FsError", "FileTree", "materialise_rootfs"]
+
+
+class FsError(RuntimeError):
+    """Bad path or conflicting filesystem operation."""
+
+
+class _Node:
+    __slots__ = ("name", "children", "size_mb")
+
+    def __init__(self, name: str, size_mb: Optional[float] = None):
+        self.name = name
+        self.size_mb = size_mb  # None => directory
+        self.children: Dict[str, "_Node"] = {}
+
+    @property
+    def is_dir(self) -> bool:
+        return self.size_mb is None
+
+
+def _split(path: str) -> List[str]:
+    if not path.startswith("/"):
+        raise FsError(f"paths must be absolute, got {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+class FileTree:
+    """A single-rooted file hierarchy with sized files."""
+
+    def __init__(self) -> None:
+        self._root = _Node("/")
+
+    # -- navigation --------------------------------------------------------
+    def _walk_to(self, parts: List[str]) -> Optional[_Node]:
+        node = self._root
+        for part in parts:
+            if not node.is_dir or part not in node.children:
+                return None
+            node = node.children[part]
+        return node
+
+    def exists(self, path: str) -> bool:
+        return self._walk_to(_split(path)) is not None
+
+    def is_dir(self, path: str) -> bool:
+        node = self._walk_to(_split(path))
+        if node is None:
+            raise FsError(f"no such path: {path}")
+        return node.is_dir
+
+    # -- mutation -----------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        """Create a directory (and parents, mkdir -p style)."""
+        node = self._root
+        for part in _split(path):
+            if part in node.children:
+                node = node.children[part]
+                if not node.is_dir:
+                    raise FsError(f"{path}: {part!r} is a file")
+            else:
+                child = _Node(part)
+                node.children[part] = child
+                node = child
+
+    def add_file(self, path: str, size_mb: float) -> None:
+        if size_mb < 0:
+            raise FsError(f"{path}: negative size")
+        parts = _split(path)
+        if not parts:
+            raise FsError("cannot create a file at /")
+        self.mkdir("/" + "/".join(parts[:-1])) if parts[:-1] else None
+        parent = self._walk_to(parts[:-1])
+        assert parent is not None
+        if parts[-1] in parent.children:
+            raise FsError(f"{path} already exists")
+        parent.children[parts[-1]] = _Node(parts[-1], size_mb=size_mb)
+
+    def remove(self, path: str) -> float:
+        """Remove a file or directory subtree; returns MB freed."""
+        parts = _split(path)
+        if not parts:
+            raise FsError("cannot remove /")
+        parent = self._walk_to(parts[:-1])
+        if parent is None or parts[-1] not in parent.children:
+            raise FsError(f"no such path: {path}")
+        freed = self._du(parent.children[parts[-1]])
+        del parent.children[parts[-1]]
+        return freed
+
+    # -- accounting -----------------------------------------------------------
+    def _du(self, node: _Node) -> float:
+        if not node.is_dir:
+            return node.size_mb or 0.0
+        return sum(self._du(child) for child in node.children.values())
+
+    def size_mb(self, path: str = "/") -> float:
+        node = self._walk_to(_split(path)) if path != "/" else self._root
+        if node is None:
+            raise FsError(f"no such path: {path}")
+        return self._du(node)
+
+    def listdir(self, path: str = "/") -> List[str]:
+        node = self._walk_to(_split(path)) if path != "/" else self._root
+        if node is None:
+            raise FsError(f"no such path: {path}")
+        if not node.is_dir:
+            raise FsError(f"{path} is a file")
+        return sorted(node.children)
+
+    def walk(self) -> Iterator[Tuple[str, bool, float]]:
+        """Yield (path, is_dir, size_mb) depth-first."""
+
+        def _recurse(prefix: str, node: _Node) -> Iterator[Tuple[str, bool, float]]:
+            for name in sorted(node.children):
+                child = node.children[name]
+                path = f"{prefix}/{name}"
+                yield path, child.is_dir, self._du(child)
+                if child.is_dir:
+                    yield from _recurse(path, child)
+
+        return _recurse("", self._root)
+
+    def n_files(self) -> int:
+        return sum(1 for _, is_dir, _ in self.walk() if not is_dir)
+
+    def render(self, max_depth: int = 3) -> str:
+        """An ls -R-ish listing down to ``max_depth``."""
+        lines = ["/"]
+        for path, is_dir, size in self.walk():
+            depth = path.count("/")
+            if depth > max_depth:
+                continue
+            indent = "  " * depth
+            name = path.rsplit("/", 1)[-1]
+            suffix = "/" if is_dir else f"  ({size:.2f} MB)"
+            lines.append(f"{indent}{name}{suffix}")
+        return "\n".join(lines)
+
+
+def materialise_rootfs(rootfs: RootFilesystem) -> FileTree:
+    """Lay a rootfs description out as a concrete file tree.
+
+    Layout: base system split across /bin /sbin /lib /usr, init scripts
+    in /etc/init.d (one per installed service, carrying the service's
+    size), shared libraries in /usr/lib, payload data in /var/data.
+    """
+    tree = FileTree()
+    for directory in ("/bin", "/sbin", "/lib", "/usr/lib", "/etc/init.d", "/var/data", "/root"):
+        tree.mkdir(directory)
+    # Base system: spread over the classic directories.
+    base_split = [("/bin/busybox", 0.25), ("/sbin/init", 0.05), ("/lib/libc.so", 0.30)]
+    fixed = sum(share for _, share in base_split)
+    remainder = max(0.0, rootfs.base_mb - fixed)
+    for path, share in base_split:
+        tree.add_file(path, min(share, rootfs.base_mb))
+    if remainder > 0:
+        tree.add_file("/usr/base.img", remainder)
+    # One init script per service; libraries once each.
+    for service_name in sorted(rootfs.services):
+        service = rootfs.registry.get(service_name)
+        tree.add_file(f"/etc/init.d/{service_name}", service.size_mb)
+    for lib_name in sorted(rootfs.registry.library_closure(rootfs.services)):
+        library = rootfs.registry.library(lib_name)
+        tree.add_file(f"/usr/lib/{lib_name}.so", library.size_mb)
+    if rootfs.data_mb > 0:
+        tree.add_file("/var/data/payload", rootfs.data_mb)
+    return tree

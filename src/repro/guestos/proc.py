@@ -1,0 +1,121 @@
+"""Guest process table and users.
+
+Each virtual service node runs its own process tree under its own guest
+root — "the root that runs ghttpd is the root of the *guest OS*, not
+the host OS" (paper §2.1).  The table supports the ``ps -ef`` view the
+paper screenshots in Figure 3 to show two co-existing nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ProcessState", "GuestProcess", "ProcessTable"]
+
+GUEST_ROOT_UID = 0
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "R"
+    SLEEPING = "S"
+    ZOMBIE = "Z"
+    KILLED = "K"
+
+
+@dataclass
+class GuestProcess:
+    """One process inside a guest OS."""
+
+    pid: int
+    uid: int
+    user: str
+    command: str
+    state: ProcessState = ProcessState.RUNNING
+    ppid: int = 1
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcessState.RUNNING, ProcessState.SLEEPING)
+
+
+class ProcessTable:
+    """The per-guest process table.
+
+    PIDs are allocated monotonically starting from the kernel threads a
+    2.4-era UML shows at boot (Figure 3: ``init``, ``kswapd``,
+    ``bdflush``, ``kupdated`` ...).
+    """
+
+    KERNEL_THREADS = ["init", "[keventd]", "[kswapd]", "[bdflush]", "[kupdated]"]
+
+    def __init__(self) -> None:
+        self._procs: Dict[int, GuestProcess] = {}
+        self._next_pid = 1
+
+    def boot_populate(self) -> None:
+        """Create the kernel threads a freshly booted guest shows."""
+        if self._procs:
+            raise RuntimeError("process table already populated")
+        for command in self.KERNEL_THREADS:
+            self.spawn(command=command, uid=GUEST_ROOT_UID, user="root")
+
+    def spawn(
+        self,
+        command: str,
+        uid: int,
+        user: str,
+        ppid: int = 1,
+        state: ProcessState = ProcessState.RUNNING,
+    ) -> GuestProcess:
+        if uid < 0:
+            raise ValueError(f"negative uid: {uid}")
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = GuestProcess(pid=pid, uid=uid, user=user, command=command, state=state, ppid=ppid)
+        self._procs[pid] = proc
+        return proc
+
+    def get(self, pid: int) -> GuestProcess:
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise KeyError(f"no such pid {pid}") from None
+
+    def kill(self, pid: int) -> None:
+        proc = self.get(pid)
+        if not proc.alive:
+            raise ValueError(f"pid {pid} already dead")
+        proc.state = ProcessState.KILLED
+
+    def kill_all(self) -> int:
+        """Guest crash: every process dies.  Returns how many were alive."""
+        count = 0
+        for proc in self._procs.values():
+            if proc.alive:
+                proc.state = ProcessState.KILLED
+                count += 1
+        return count
+
+    def find_by_command(self, needle: str) -> List[GuestProcess]:
+        return [p for p in self._procs.values() if needle in p.command]
+
+    @property
+    def alive_processes(self) -> List[GuestProcess]:
+        return [p for p in self._procs.values() if p.alive]
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    def ps_ef(self) -> str:
+        """The Figure 3 view: header plus one row per live process."""
+        lines = [f"{'PID':>5} {'Uid':<8} {'Stat':<5} Command"]
+        for pid in sorted(self._procs):
+            proc = self._procs[pid]
+            if not proc.alive:
+                continue
+            lines.append(
+                f"{proc.pid:>5} {proc.user:<8} {proc.state.value:<5} {proc.command}"
+            )
+        return "\n".join(lines)

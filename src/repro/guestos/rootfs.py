@@ -1,0 +1,121 @@
+"""Guest root filesystems and SODA's tailoring step.
+
+Paper §4.3: "the SODA Daemon first performs a *customization* of the
+Linux system services to be started in the UML.  SODA Daemon tailors the
+root file system of the UML by retaining only the Linux system services
+(in the /etc/ directory) required by the application service; it also
+checks their dependencies to ensure that only the necessary libraries
+are included.  The customized root file system is light-weight and
+reconfigurable - in many cases it can be mounted in RAM disk for fast
+bootstrapping."
+
+A :class:`RootFilesystem` combines a base system (kernel image, init,
+core userland), a set of installed system services, application payload
+data, and the shared libraries the services need.  :meth:`tailored_for`
+produces the cut-down filesystem the Daemon actually boots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+from repro.guestos.services import ServiceRegistry, default_registry
+
+__all__ = ["TailoringError", "RootFilesystem"]
+
+
+class TailoringError(RuntimeError):
+    """Raised when a rootfs cannot satisfy a tailoring request."""
+
+
+@dataclass(frozen=True)
+class RootFilesystem:
+    """An immutable guest root filesystem description.
+
+    ``base_mb`` covers the kernel, init, core userland and always-present
+    libraries; ``data_mb`` is application payload (e.g. the LFS 4.0
+    build tree that makes ``root_fs_lfs_4.0`` 400 MB).
+    """
+
+    name: str
+    base_mb: float
+    data_mb: float
+    services: FrozenSet[str]
+    registry: ServiceRegistry
+
+    def __post_init__(self) -> None:
+        if self.base_mb < 0 or self.data_mb < 0:
+            raise ValueError(f"rootfs {self.name!r}: negative size component")
+        for service in self.services:
+            if service not in self.registry:
+                raise ValueError(
+                    f"rootfs {self.name!r} installs unknown service {service!r}"
+                )
+
+    @staticmethod
+    def build(
+        name: str,
+        base_mb: float,
+        services: Iterable[str],
+        data_mb: float = 0.0,
+        registry: Optional[ServiceRegistry] = None,
+    ) -> "RootFilesystem":
+        registry = registry or default_registry()
+        return RootFilesystem(
+            name=name,
+            base_mb=base_mb,
+            data_mb=data_mb,
+            services=frozenset(services),
+            registry=registry,
+        )
+
+    # -- size accounting ----------------------------------------------------
+    @property
+    def size_mb(self) -> float:
+        """Total on-disk size: base + payload + services + their libs."""
+        return self.base_mb + self.data_mb + self.registry.total_size(self.services)
+
+    # -- boot inputs ----------------------------------------------------------
+    def start_order(self):
+        """Init order for the installed services."""
+        return self.registry.start_order(self.services)
+
+    def total_start_cost_mcycles(self) -> float:
+        return self.registry.total_start_cost(self.services)
+
+    # -- tailoring --------------------------------------------------------------
+    def tailored_for(self, required_services: Iterable[str]) -> "RootFilesystem":
+        """The Daemon's customization: keep only what's needed.
+
+        ``required_services`` is what the application service declares;
+        the result retains their dependency closure (and nothing else),
+        with the library set re-derived from the retained services.
+        Raises :class:`TailoringError` if a required service is not
+        installed in this rootfs.
+        """
+        required = list(required_services)
+        closure = self.registry.dependency_closure(required)
+        missing = closure - self.services
+        if missing:
+            raise TailoringError(
+                f"rootfs {self.name!r} lacks services required by the "
+                f"application (after dependency closure): {sorted(missing)}"
+            )
+        return RootFilesystem(
+            name=f"{self.name}+tailored",
+            base_mb=self.base_mb,
+            data_mb=self.data_mb,
+            services=closure,
+            registry=self.registry,
+        )
+
+    @property
+    def is_tailored(self) -> bool:
+        return self.name.endswith("+tailored")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RootFilesystem({self.name!r}, {self.size_mb:.1f} MB, "
+            f"{len(self.services)} services)"
+        )

@@ -1,0 +1,217 @@
+"""The User-Mode Linux virtual machine (one virtual service node).
+
+"each node is a virtual machine which is physically a 'slice' of a real
+host in the HUP [...] a UML runs directly in the unmodified *user
+space* of the host OS [...] the host OS has a separate *kernel space*,
+eliminating any security impact caused by the individual UMLs"
+(paper §2.1, §4.2).
+
+The class models what SODA relies on:
+
+* lifecycle: CREATED -> BOOTING -> RUNNING -> (CRASHED | STOPPED);
+* the UML memory cap (the one resource the stock UML isolates, §4.2) —
+  enforced by allocating the cap from the host's memory manager;
+* a guest process table with guest users — guest root is *not* host
+  root, so compromising or crashing the guest never touches the host or
+  sibling nodes (Figure 3's isolation demonstration);
+* per-request service times through the syscall interposition model.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+from repro.guestos.boot import BootPlan, BootTimeModel
+from repro.guestos.proc import GUEST_ROOT_UID, ProcessTable
+from repro.guestos.rootfs import RootFilesystem
+from repro.guestos.syscall import SyscallCostModel, SyscallMix
+from repro.host.machine import Host
+from repro.host.memory import MemoryAllocation, MemoryError_
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["UmlError", "UmlState", "UserModeLinux"]
+
+
+# Fraction of the host NIC's rate a UML guest can drive.  "there will
+# be a slow-down in both processing and network transmission" (§3.2):
+# every packet of a 2002-era UML crosses the tracing thread and a
+# TUN/TAP device, so guests cannot saturate the wire.  0.65 sits inside
+# the paper's conservative 1.5x bandwidth-inflation envelope
+# (footnote 2: 1/1.5 = 0.67) and yields the Figure 6 application-level
+# slow-down of ~1.4-1.5x.
+UML_NETWORK_EFFICIENCY = 0.65
+
+
+class UmlError(RuntimeError):
+    """Lifecycle misuse or boot failure of a UML instance."""
+
+
+class UmlState(enum.Enum):
+    CREATED = "created"
+    BOOTING = "booting"
+    RUNNING = "running"
+    CRASHED = "crashed"
+    STOPPED = "stopped"
+
+
+class UserModeLinux:
+    """One UML guest = one virtual service node's machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        host: Host,
+        rootfs: RootFilesystem,
+        guest_mem_mb: float,
+        syscall_model: Optional[SyscallCostModel] = None,
+    ):
+        if guest_mem_mb <= 0:
+            raise ValueError(f"guest memory cap must be positive, got {guest_mem_mb}")
+        self.sim = sim
+        self.name = name
+        self.host = host
+        self.rootfs = rootfs
+        self.guest_mem_mb = guest_mem_mb
+        self.syscalls = syscall_model or SyscallCostModel()
+        self.state = UmlState.CREATED
+        self.boot_progress: str = "created"
+        self.processes = ProcessTable()
+        self.ip: Optional[str] = None
+        self.boot_plan: Optional[BootPlan] = None
+        self.booted_at: Optional[float] = None
+        self.crash_cause: Any = None
+        self.compromised = False
+        self._memory: Optional[MemoryAllocation] = None
+        self._ramdisk: Optional[MemoryAllocation] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def boot(self, model: Optional[BootTimeModel] = None) -> Generator[Event, Any, BootPlan]:
+        """Boot the guest (simulated-process step).
+
+        Staged, as §3.3 describes ("first the guest OS, then the
+        service"): allocate the memory cap (and the RAM disk, when
+        used), mount the rootfs, initialise the guest kernel, then start
+        each retained system service in dependency order — each stage
+        advancing :attr:`boot_progress` and the process table, so a
+        mid-boot crash leaves an honest partial state.  Returns the
+        :class:`BootPlan` used; total simulated time equals the plan's.
+        """
+        if self.state is not UmlState.CREATED:
+            raise UmlError(f"UML {self.name!r} cannot boot from state {self.state}")
+        model = model or BootTimeModel()
+        plan = model.plan(self.rootfs, self.host, self.guest_mem_mb)
+        try:
+            self._memory = self.host.memory.allocate(
+                self.guest_mem_mb, purpose=f"uml:{self.name}"
+            )
+        except MemoryError_ as exc:
+            raise UmlError(f"UML {self.name!r} boot failed: {exc}") from exc
+        if plan.ramdisk:
+            # The plan said the RAM disk fits alongside the cap; claim it.
+            self._ramdisk = self.host.memory.allocate(
+                self.rootfs.size_mb, purpose=f"ramdisk:{self.name}"
+            )
+        self.state = UmlState.BOOTING
+        self.boot_plan = plan
+
+        def _check_alive() -> None:
+            if self.state is not UmlState.BOOTING:
+                raise UmlError(
+                    f"UML {self.name!r} boot aborted ({self.state.value})"
+                )
+
+        self.boot_progress = "mounting rootfs"
+        yield self.sim.timeout(plan.mount_time_s)
+        _check_alive()
+        self.boot_progress = "kernel init"
+        yield self.sim.timeout(plan.kernel_time_s)
+        _check_alive()
+        self.processes.boot_populate()
+        order = self.rootfs.start_order()
+        total_cost = self.rootfs.total_start_cost_mcycles()
+        for service in order:
+            self.boot_progress = f"starting {service}"
+            cost = self.rootfs.registry.get(service).start_cost_mcycles
+            share = cost / total_cost if total_cost > 0 else 0.0
+            yield self.sim.timeout(plan.services_time_s * share)
+            _check_alive()
+            self.processes.spawn(command=service, uid=GUEST_ROOT_UID, user="root")
+        self.state = UmlState.RUNNING
+        self.boot_progress = "running"
+        self.booted_at = self.sim.now
+        return plan
+
+    def crash(self, cause: Any = None) -> int:
+        """Guest crash (fault or successful attack).
+
+        Kills every guest process; the host OS and sibling nodes are
+        untouched — that containment is the point of the guest/host
+        structure.  A guest can also crash mid-boot (an in-flight boot
+        aborts at its next stage).  Returns the number of processes
+        that died.
+        """
+        if self.state not in (UmlState.RUNNING, UmlState.BOOTING):
+            raise UmlError(f"UML {self.name!r} cannot crash from state {self.state}")
+        self.state = UmlState.CRASHED
+        self.crash_cause = cause
+        return self.processes.kill_all()
+
+    def shutdown(self) -> None:
+        """Orderly stop; releases host memory."""
+        if self.state not in (UmlState.RUNNING, UmlState.CRASHED):
+            raise UmlError(f"UML {self.name!r} cannot stop from state {self.state}")
+        self.processes.kill_all()
+        self._release_memory()
+        self.state = UmlState.STOPPED
+
+    def _release_memory(self) -> None:
+        if self._memory is not None:
+            self._memory.release()
+            self._memory = None
+        if self._ramdisk is not None:
+            self._ramdisk.release()
+            self._ramdisk = None
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is UmlState.RUNNING
+
+    # -- execution ------------------------------------------------------------
+    def request_time_s(self, mix: SyscallMix, capacity_fraction: float = 1.0) -> float:
+        """CPU time to serve one request with profile ``mix``.
+
+        ``capacity_fraction`` scales for the node's slice of the host
+        CPU (a node holding half the host serves at half speed).  The
+        syscall interposition penalty is applied — this is where the
+        application-level slow-down of Figure 6 comes from.
+        """
+        if not 0 < capacity_fraction <= 1.0:
+            raise ValueError(f"capacity fraction must be in (0, 1], got {capacity_fraction}")
+        if not self.is_running:
+            raise UmlError(f"UML {self.name!r} is not running")
+        effective_mhz = self.host.cpu_mhz * capacity_fraction
+        return self.syscalls.mix_time_s(mix, effective_mhz, in_uml=True)
+
+    # -- security model ---------------------------------------------------------
+    def exploit(self, set_compromised: bool = True) -> None:
+        """A successful attack on a guest service (e.g. the ghttpd
+        buffer overflow): the attacker gains *guest* root."""
+        if not self.is_running:
+            raise UmlError(f"UML {self.name!r} is not running")
+        if set_compromised:
+            self.compromised = True
+
+    def attacker_can_reach_host(self) -> bool:
+        """Whether a guest-root attacker can touch the host OS.
+
+        Always False: UML guests live in host user space with a separate
+        kernel space (§4.2); guest root maps to an unprivileged host
+        user.  (Contrast with running the service directly on the host,
+        where service root *is* host root.)
+        """
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UserModeLinux({self.name!r}, {self.state.value}, host={self.host.name!r})"

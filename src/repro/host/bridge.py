@@ -1,0 +1,130 @@
+"""Host networking modules: bridging and proxying.
+
+Paper §3.3: an IP address is assigned to each virtual service node "by a
+*bridging module* running in the host OS, which acts as a transparent
+bridge connecting all virtual service nodes in the HUP host".  Footnote
+3 adds the alternative: "if the scarcity of IP addresses becomes a
+problem, we will adopt the technique of *proxying* instead of bridging,
+so that a virtual service node can still communicate with a reserved IP
+address."
+
+Both techniques are implemented:
+
+* :class:`BridgingModule` — one routable IP per node; forwarding is a
+  layer-2 table lookup with negligible per-request cost.
+* :class:`ProxyModule` — nodes share the host's IP; each node gets a
+  host port, and a user-space proxy relays every request, charging host
+  CPU work and extra latency per request (this is why the reproduction
+  band notes the "switch proxy less performant").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Endpoint", "BridgingModule", "ProxyModule"]
+
+# Proxy relay cost per request, host CPU megacycles: the proxy must
+# accept, read, rewrite and re-send each request and response in user
+# space (two extra socket round trips through the host kernel).
+PROXY_CPU_MCYCLES_PER_REQUEST = 2.0
+# Per-MB relay (copy through the proxy process) cost in megacycles.
+PROXY_CPU_MCYCLES_PER_MB = 6.0
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """Where a virtual service node can be reached."""
+
+    ip: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+class BridgingModule:
+    """Transparent bridge: node IP -> node, O(1) forwarding, no relay cost."""
+
+    def __init__(self, host_name: str = ""):
+        self.host_name = host_name
+        self._table: Dict[str, Any] = {}
+
+    def register(self, ip: str, node: Any) -> Endpoint:
+        """Install the 'UML-IP' mapping for a newly primed node (§4.3)."""
+        if ip in self._table:
+            raise ValueError(f"IP {ip} already bridged on host {self.host_name!r}")
+        self._table[ip] = node
+        return Endpoint(ip=ip, port=0)
+
+    def unregister(self, ip: str) -> None:
+        if ip not in self._table:
+            raise KeyError(f"IP {ip} not bridged on host {self.host_name!r}")
+        del self._table[ip]
+
+    def resolve(self, ip: str) -> Any:
+        """The node behind ``ip``; KeyError if unknown (packet dropped)."""
+        return self._table[ip]
+
+    def relay_cost(self, payload_mb: float, cpu_mhz: float) -> float:
+        """Seconds of host work to forward one request — bridging is in
+        the kernel fast path, so effectively free."""
+        return 0.0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._table)
+
+
+class ProxyModule:
+    """User-space proxy: (host IP, port) -> node, with per-request cost."""
+
+    def __init__(self, host_ip: str, host_name: str = "", base_port: int = 20000):
+        self.host_ip = host_ip
+        self.host_name = host_name
+        self._base_port = base_port
+        self._next_port = base_port
+        self._table: Dict[int, Any] = {}
+        self.requests_relayed = 0
+        self.mb_relayed = 0.0
+
+    def register(self, node: Any, port: Optional[int] = None) -> Endpoint:
+        """Map a host port to ``node``; auto-assigns ports by default."""
+        if port is None:
+            port = self._next_port
+            self._next_port += 1
+        if port in self._table:
+            raise ValueError(f"port {port} already mapped on host {self.host_name!r}")
+        self._table[port] = node
+        return Endpoint(ip=self.host_ip, port=port)
+
+    def unregister(self, port: int) -> None:
+        if port not in self._table:
+            raise KeyError(f"port {port} not mapped on host {self.host_name!r}")
+        del self._table[port]
+
+    def resolve(self, port: int) -> Any:
+        return self._table[port]
+
+    def relay_cost(self, payload_mb: float, cpu_mhz: float) -> float:
+        """Seconds of host CPU consumed relaying one request+response.
+
+        Unlike bridging, every byte crosses the proxy process twice
+        (read + write), so the cost scales with payload size.
+        """
+        if payload_mb < 0:
+            raise ValueError(f"negative payload: {payload_mb}")
+        if cpu_mhz <= 0:
+            raise ValueError(f"cpu_mhz must be positive, got {cpu_mhz}")
+        self.requests_relayed += 1
+        self.mb_relayed += payload_mb
+        work = PROXY_CPU_MCYCLES_PER_REQUEST + PROXY_CPU_MCYCLES_PER_MB * payload_mb
+        return work / cpu_mhz
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._table)
+
+    def endpoints(self) -> Tuple[Endpoint, ...]:
+        return tuple(Endpoint(self.host_ip, port) for port in sorted(self._table))

@@ -1,0 +1,145 @@
+"""Physical HUP host model.
+
+A :class:`Host` bundles the hardware attributes SODA cares about — CPU
+speed, RAM, disk throughput, NIC — together with the OS-level managers
+built on them (memory manager, reservation manager).  The two
+constructors :func:`make_seattle` and :func:`make_tacoma` reproduce the
+paper's testbed (§4):
+
+    "*seattle* is a Dell PowerEdge server with a 2.6GHz Intel Xeon
+    processor and 2GB RAM, while *tacoma* is a Dell desktop PC with a
+    1.8GHz Intel Pentium 4 processor and 768MB RAM. [...] All machines
+    are connected by a 100Mbps LAN."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.host.memory import MemoryManager
+from repro.host.reservation import ReservationManager
+from repro.net.lan import LAN, NetworkInterface
+from repro.sim.kernel import Simulator
+
+__all__ = ["Host", "make_seattle", "make_tacoma", "paper_testbed_hosts"]
+
+# RAM the host OS itself keeps (kernel, host daemons, page cache floor).
+# Chosen so that on tacoma (768 MB) neither the 400 MB LFS rootfs nor the
+# 253 MB RH-7.2 rootfs plus a 256 MB guest can be RAM-disk mounted, while
+# on seattle (2 GB) everything fits — matching the Table 2 asymmetry.
+HOST_OS_RESERVED_MB = 300.0
+
+# Disk throughput: seattle is a server-class SCSI box, tacoma a desktop
+# IDE machine (circa 2003 hardware).
+SEATTLE_DISK_MBS = 50.0
+TACOMA_DISK_MBS = 28.0
+
+LAN_BANDWIDTH_MBPS = 100.0
+
+
+class Host:
+    """One physical HUP host.
+
+    Parameters
+    ----------
+    cpu_mhz:
+        Processor clock; all modelled work is expressed in megacycles,
+        so ``time = work_mcycles / cpu_mhz / 1e6`` seconds... more
+        precisely ``seconds = mcycles / cpu_mhz`` since one MHz executes
+        one megacycle per second.
+    disk_rate_mbs:
+        Sequential disk throughput in MB/s (rootfs mounts from disk).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_mhz: float,
+        ram_mb: float,
+        disk_mb: float,
+        disk_rate_mbs: float,
+        lan: Optional[LAN] = None,
+        nic_mbps: float = LAN_BANDWIDTH_MBPS,
+        os_reserved_mb: float = HOST_OS_RESERVED_MB,
+    ):
+        if cpu_mhz <= 0:
+            raise ValueError(f"cpu_mhz must be positive, got {cpu_mhz}")
+        if ram_mb <= os_reserved_mb:
+            raise ValueError(
+                f"host {name!r}: RAM {ram_mb} MB does not cover the "
+                f"host-OS reservation of {os_reserved_mb} MB"
+            )
+        if disk_mb <= 0 or disk_rate_mbs <= 0:
+            raise ValueError(f"host {name!r}: disk size and rate must be positive")
+        self.sim = sim
+        self.name = name
+        self.cpu_mhz = cpu_mhz
+        self.ram_mb = ram_mb
+        self.disk_mb = disk_mb
+        self.disk_rate_mbs = disk_rate_mbs
+        self.memory = MemoryManager(total_mb=ram_mb, os_reserved_mb=os_reserved_mb)
+        self.reservations = ReservationManager(
+            host_name=name,
+            cpu_mhz=cpu_mhz,
+            mem_mb=ram_mb - os_reserved_mb,
+            disk_mb=disk_mb,
+            bw_mbps=nic_mbps,
+        )
+        self.nic: Optional[NetworkInterface] = None
+        if lan is not None:
+            self.attach(lan, nic_mbps)
+
+    def attach(self, lan: LAN, nic_mbps: float = LAN_BANDWIDTH_MBPS) -> NetworkInterface:
+        """Plug this host's NIC into ``lan``."""
+        self.nic = lan.nic(self.name, nic_mbps)
+        return self.nic
+
+    def cpu_time(self, work_mcycles: float) -> float:
+        """Seconds to execute ``work_mcycles`` at full CPU speed."""
+        if work_mcycles < 0:
+            raise ValueError(f"negative work: {work_mcycles}")
+        return work_mcycles / self.cpu_mhz
+
+    def disk_read_time(self, size_mb: float) -> float:
+        """Seconds to stream ``size_mb`` from disk."""
+        if size_mb < 0:
+            raise ValueError(f"negative size: {size_mb}")
+        return size_mb / self.disk_rate_mbs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Host({self.name!r}, {self.cpu_mhz:.0f} MHz, {self.ram_mb:.0f} MB RAM, "
+            f"{self.disk_rate_mbs:.0f} MB/s disk)"
+        )
+
+
+def make_seattle(sim: Simulator, lan: Optional[LAN] = None) -> Host:
+    """The paper's *seattle*: 2.6 GHz Xeon, 2 GB RAM, server-class disk."""
+    return Host(
+        sim,
+        name="seattle",
+        cpu_mhz=2600.0,
+        ram_mb=2048.0,
+        disk_mb=60_000.0,
+        disk_rate_mbs=SEATTLE_DISK_MBS,
+        lan=lan,
+    )
+
+
+def make_tacoma(sim: Simulator, lan: Optional[LAN] = None) -> Host:
+    """The paper's *tacoma*: 1.8 GHz Pentium 4, 768 MB RAM, desktop disk."""
+    return Host(
+        sim,
+        name="tacoma",
+        cpu_mhz=1800.0,
+        ram_mb=768.0,
+        disk_mb=40_000.0,
+        disk_rate_mbs=TACOMA_DISK_MBS,
+        lan=lan,
+    )
+
+
+def paper_testbed_hosts(sim: Simulator, lan: LAN) -> List[Host]:
+    """Both testbed hosts, attached to ``lan``."""
+    return [make_seattle(sim, lan), make_tacoma(sim, lan)]

@@ -1,0 +1,91 @@
+"""Host RAM accounting and RAM-disk mounts.
+
+The SODA Daemon decides per boot whether a tailored root filesystem
+"can be mounted in RAM disk for fast bootstrapping" (paper §4.3).  The
+:class:`MemoryManager` answers that question: a RAM-disk mount needs the
+rootfs *and* the guest's memory cap to fit in currently-free host RAM
+(UML memory limits are the one isolation the stock UML provides, §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["MemoryError_", "MemoryAllocation", "MemoryManager"]
+
+
+class MemoryError_(RuntimeError):
+    """Host RAM exhausted (named with a trailing underscore to avoid
+    shadowing the builtin ``MemoryError``)."""
+
+
+class MemoryAllocation:
+    """A chunk of host RAM held by a guest or a RAM-disk mount."""
+
+    def __init__(self, manager: "MemoryManager", size_mb: float, purpose: str):
+        self.manager = manager
+        self.size_mb = size_mb
+        self.purpose = purpose
+        self.released = False
+
+    def release(self) -> None:
+        if self.released:
+            raise MemoryError_(f"double release of {self.purpose!r} allocation")
+        self.released = True
+        self.manager._free(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self.released else "held"
+        return f"MemoryAllocation({self.size_mb} MB, {self.purpose!r}, {state})"
+
+
+class MemoryManager:
+    """Tracks host RAM: total, host-OS reserve, and live allocations."""
+
+    def __init__(self, total_mb: float, os_reserved_mb: float):
+        if total_mb <= 0:
+            raise ValueError(f"total RAM must be positive, got {total_mb}")
+        if not 0 <= os_reserved_mb < total_mb:
+            raise ValueError(
+                f"OS reserve {os_reserved_mb} MB outside [0, {total_mb})"
+            )
+        self.total_mb = total_mb
+        self.os_reserved_mb = os_reserved_mb
+        self._allocations: List[MemoryAllocation] = []
+
+    @property
+    def allocated_mb(self) -> float:
+        return sum(a.size_mb for a in self._allocations)
+
+    @property
+    def free_mb(self) -> float:
+        return self.total_mb - self.os_reserved_mb - self.allocated_mb
+
+    def fits(self, size_mb: float) -> bool:
+        return size_mb <= self.free_mb
+
+    def allocate(self, size_mb: float, purpose: str = "") -> MemoryAllocation:
+        """Claim ``size_mb`` of RAM; raises :class:`MemoryError_` if short."""
+        if size_mb < 0:
+            raise ValueError(f"negative allocation: {size_mb}")
+        if not self.fits(size_mb):
+            raise MemoryError_(
+                f"cannot allocate {size_mb} MB for {purpose!r}: "
+                f"only {self.free_mb:.1f} MB free"
+            )
+        allocation = MemoryAllocation(self, size_mb, purpose)
+        self._allocations.append(allocation)
+        return allocation
+
+    def _free(self, allocation: MemoryAllocation) -> None:
+        self._allocations.remove(allocation)
+
+    def can_ramdisk_mount(self, rootfs_mb: float, guest_mem_mb: float) -> bool:
+        """True if a rootfs RAM-disk plus the guest's memory cap fit."""
+        return self.fits(rootfs_mb + guest_mem_mb)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryManager(free={self.free_mb:.0f}/{self.total_mb:.0f} MB, "
+            f"os_reserved={self.os_reserved_mb:.0f} MB)"
+        )

@@ -1,0 +1,149 @@
+"""Per-host resource reservation manager.
+
+"Upon receiving the command to create a virtual service node, the SODA
+Daemon will contact the underlying host OS and make resource
+reservations for the virtual service node" (paper §3.3).  A reservation
+covers the four resource types of a machine configuration ``M``
+(Table 1): CPU, memory, disk, and network bandwidth.  The manager keeps
+the invariant that the sum of live reservations never exceeds host
+capacity in any dimension, and is the source of the "resource
+availability" reports the Daemon sends to the SODA Master (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ReservationError", "Reservation", "ResourceVector", "ReservationManager"]
+
+
+class ReservationError(RuntimeError):
+    """Raised when a reservation cannot be granted or is misused."""
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """Amounts of the four Table 1 resource types."""
+
+    cpu_mhz: float
+    mem_mb: float
+    disk_mb: float
+    bw_mbps: float
+
+    def __post_init__(self) -> None:
+        for field in ("cpu_mhz", "mem_mb", "disk_mb", "bw_mbps"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"negative {field}: {getattr(self, field)}")
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu_mhz + other.cpu_mhz,
+            self.mem_mb + other.mem_mb,
+            self.disk_mb + other.disk_mb,
+            self.bw_mbps + other.bw_mbps,
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.cpu_mhz - other.cpu_mhz,
+            self.mem_mb - other.mem_mb,
+            self.disk_mb - other.disk_mb,
+            self.bw_mbps - other.bw_mbps,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        if factor < 0:
+            raise ValueError(f"negative scale factor: {factor}")
+        return ResourceVector(
+            self.cpu_mhz * factor,
+            self.mem_mb * factor,
+            self.disk_mb * factor,
+            self.bw_mbps * factor,
+        )
+
+    def fits_within(self, other: "ResourceVector") -> bool:
+        """True if every component of self is <= the other's."""
+        return (
+            self.cpu_mhz <= other.cpu_mhz + 1e-9
+            and self.mem_mb <= other.mem_mb + 1e-9
+            and self.disk_mb <= other.disk_mb + 1e-9
+            and self.bw_mbps <= other.bw_mbps + 1e-9
+        )
+
+    @staticmethod
+    def zero() -> "ResourceVector":
+        return ResourceVector(0.0, 0.0, 0.0, 0.0)
+
+
+class Reservation:
+    """A live grant of a :class:`ResourceVector` on one host."""
+
+    def __init__(self, manager: "ReservationManager", vector: ResourceVector, label: str):
+        self.manager = manager
+        self.vector = vector
+        self.label = label
+        self.released = False
+
+    def release(self) -> None:
+        if self.released:
+            raise ReservationError(f"double release of reservation {self.label!r}")
+        self.released = True
+        self.manager._release(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "released" if self.released else "held"
+        return f"Reservation({self.label!r}, {self.vector}, {state})"
+
+
+class ReservationManager:
+    """Admission-level accounting of one host's four resource types."""
+
+    def __init__(
+        self, host_name: str, cpu_mhz: float, mem_mb: float, disk_mb: float, bw_mbps: float
+    ):
+        self.host_name = host_name
+        self.capacity = ResourceVector(cpu_mhz, mem_mb, disk_mb, bw_mbps)
+        self._live: List[Reservation] = []
+
+    @property
+    def reserved(self) -> ResourceVector:
+        total = ResourceVector.zero()
+        for r in self._live:
+            total = total + r.vector
+        return total
+
+    @property
+    def available(self) -> ResourceVector:
+        return self.capacity - self.reserved
+
+    def can_fit(self, vector: ResourceVector) -> bool:
+        return vector.fits_within(self.available)
+
+    def reserve(self, vector: ResourceVector, label: str = "") -> Reservation:
+        """Grant ``vector`` or raise :class:`ReservationError`."""
+        if not self.can_fit(vector):
+            raise ReservationError(
+                f"host {self.host_name!r} cannot reserve {vector} "
+                f"(available {self.available})"
+            )
+        reservation = Reservation(self, vector, label)
+        self._live.append(reservation)
+        return reservation
+
+    def _release(self, reservation: Reservation) -> None:
+        self._live.remove(reservation)
+
+    @property
+    def n_live(self) -> int:
+        return len(self._live)
+
+    def utilisation(self) -> dict:
+        """Per-dimension fraction reserved, for Master placement policies."""
+        reserved = self.reserved
+        return {
+            "cpu": reserved.cpu_mhz / self.capacity.cpu_mhz if self.capacity.cpu_mhz else 0.0,
+            "mem": reserved.mem_mb / self.capacity.mem_mb if self.capacity.mem_mb else 0.0,
+            "disk": reserved.disk_mb / self.capacity.disk_mb if self.capacity.disk_mb else 0.0,
+            "bw": reserved.bw_mbps / self.capacity.bw_mbps if self.capacity.bw_mbps else 0.0,
+        }

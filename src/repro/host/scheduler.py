@@ -1,0 +1,322 @@
+"""Host CPU schedulers: vanilla Linux vs SODA's proportional-share.
+
+Paper §4.2: "We have implemented a coarse-grain CPU proportional sharing
+scheduler, which enforces the CPU share allocated to each virtual
+service node. [...] Within one virtual service node, all processes bear
+the same user (service) id.  The CPU scheduler in the host OS then
+enforces proportional CPU sharing among all processes, based on their
+userids."  Figure 5 contrasts the CPU shares of three overloaded
+virtual service nodes (*web*, *comp*, *log*) under (a) unmodified Linux
+and (b) the enhanced host OS.
+
+Two schedulers are modelled at quantum granularity:
+
+* :class:`VanillaLinuxScheduler` — a Linux-2.4-style epoch scheduler:
+  every runnable task is picked by largest remaining counter; when all
+  runnable counters hit zero the epoch ends and every task (including
+  blocked ones, which is the classic I/O boost) recharges
+  ``counter = counter//2 + base``.  Crucially it schedules *processes*,
+  so a node running more processes harvests more CPU — the unfairness
+  Figure 5(a) shows.
+* :class:`ProportionalShareScheduler` — stride scheduling over *task
+  groups* (one group per userid/virtual node): the group with the
+  smallest pass value runs next and advances by ``stride = K/tickets``;
+  round-robin within the group.  A group that wakes from full idling is
+  re-based to the current virtual time so it cannot monopolise the CPU
+  to "catch up".
+
+The schedulers run a self-contained quantum loop (they do not need the
+event kernel): Figure 5 is a closed experiment over a fixed horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "WorkloadSpec",
+    "TaskGroup",
+    "SchedulerTrace",
+    "SchedulerRun",
+    "VanillaLinuxScheduler",
+    "ProportionalShareScheduler",
+]
+
+QUANTUM_S = 0.010  # 10 ms scheduler tick, as in Linux 2.4 on x86
+BASE_COUNTER = 6  # default epoch allowance, quanta (~60 ms)
+STRIDE_CONSTANT = 1 << 20
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How one process behaves.
+
+    ``run_quanta`` consecutive quanta of CPU, then a block of
+    ``block_s`` (0 means never blocks — a pure CPU hog).  ``jitter``
+    is the lognormal sigma applied to each block duration.
+    """
+
+    run_quanta: int
+    block_s: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.run_quanta < 1:
+            raise ValueError(f"run_quanta must be >= 1, got {self.run_quanta}")
+        if self.block_s < 0:
+            raise ValueError(f"block_s must be >= 0, got {self.block_s}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    @staticmethod
+    def cpu_hog() -> "WorkloadSpec":
+        """comp: 'infinite loop of dummy arithmetic operations' (§5)."""
+        return WorkloadSpec(run_quanta=1_000_000_000, block_s=0.0)
+
+    @staticmethod
+    def disk_logger(block_s: float = 0.015, jitter: float = 0.3) -> "WorkloadSpec":
+        """log: 'performs logging via continuous disk writes' (§5)."""
+        return WorkloadSpec(run_quanta=1, block_s=block_s, jitter=jitter)
+
+    @staticmethod
+    def web_server(run_quanta: int = 2, block_s: float = 0.030, jitter: float = 0.5) -> "WorkloadSpec":
+        """web: request bursts separated by network waits."""
+        return WorkloadSpec(run_quanta=run_quanta, block_s=block_s, jitter=jitter)
+
+
+@dataclass
+class TaskGroup:
+    """All processes of one virtual service node (one userid)."""
+
+    name: str
+    workloads: Sequence[WorkloadSpec]
+    tickets: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise ValueError(f"group {self.name!r} has no processes")
+        if self.tickets <= 0:
+            raise ValueError(f"tickets must be positive, got {self.tickets}")
+
+
+class _Task:
+    """Runtime state of one process."""
+
+    __slots__ = (
+        "group_index",
+        "spec",
+        "counter",
+        "burst_left",
+        "wake_time",
+        "rng_name",
+    )
+
+    def __init__(self, group_index: int, spec: WorkloadSpec, task_id: int):
+        self.group_index = group_index
+        self.spec = spec
+        self.counter = BASE_COUNTER
+        self.burst_left = spec.run_quanta
+        self.wake_time = 0.0  # runnable when wake_time <= now
+        self.rng_name = f"sched-task-{task_id}"
+
+
+@dataclass
+class SchedulerTrace:
+    """Result of a scheduler run.
+
+    ``shares(bucket_s)`` returns, per group, the CPU fraction obtained
+    in each bucket of the horizon — the series Figure 5 plots.
+    """
+
+    group_names: Tuple[str, ...]
+    horizon_s: float
+    quantum_s: float
+    # cpu_time_series[g] = cumulative CPU seconds for group g sampled at
+    # each quantum boundary.
+    times: np.ndarray
+    cumulative: np.ndarray  # shape (n_groups, n_samples)
+
+    def total_share(self, group: str) -> float:
+        g = self.group_names.index(group)
+        return float(self.cumulative[g, -1] / self.horizon_s)
+
+    def shares(self, bucket_s: float) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+        """(bucket centres, {group: share in each bucket})."""
+        if bucket_s <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket_s}")
+        edges = np.arange(0.0, self.horizon_s + 1e-9, bucket_s)
+        if edges[-1] < self.horizon_s - 1e-9:
+            edges = np.append(edges, self.horizon_s)
+        centres = (edges[:-1] + edges[1:]) / 2.0
+        result: Dict[str, np.ndarray] = {}
+        for g, name in enumerate(self.group_names):
+            at_edges = np.interp(edges, self.times, self.cumulative[g])
+            result[name] = np.diff(at_edges) / np.diff(edges)
+        return centres, result
+
+
+class _SchedulerBase:
+    """Shared quantum loop; subclasses supply the pick policy."""
+
+    name = "base"
+
+    def __init__(self, groups: Sequence[TaskGroup], streams: Optional[RandomStreams] = None):
+        if not groups:
+            raise ValueError("at least one task group required")
+        names = [g.name for g in groups]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate group names: {names}")
+        self.groups = list(groups)
+        self.streams = streams or RandomStreams(seed=0)
+        self.tasks: List[_Task] = []
+        task_id = 0
+        for gi, group in enumerate(self.groups):
+            for spec in group.workloads:
+                self.tasks.append(_Task(gi, spec, task_id))
+                task_id += 1
+
+    # -- policy hooks ------------------------------------------------------
+    def _pick(self, runnable: List[_Task], now: float) -> Optional[_Task]:
+        raise NotImplementedError
+
+    def _charged(self, task: _Task, now: float) -> None:
+        """Called after ``task`` consumed one quantum."""
+
+    def _woke(self, task: _Task, now: float) -> None:
+        """Called when ``task`` transitions blocked -> runnable."""
+
+    # -- the quantum loop ----------------------------------------------------
+    def run(self, horizon_s: float) -> SchedulerTrace:
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        n_groups = len(self.groups)
+        n_quanta = int(math.ceil(horizon_s / QUANTUM_S))
+        times = np.empty(n_quanta + 1)
+        cumulative = np.zeros((n_groups, n_quanta + 1))
+        times[0] = 0.0
+        cpu_time = np.zeros(n_groups)
+        blocked_since: Dict[_Task, bool] = {t: False for t in self.tasks}
+
+        now = 0.0
+        for q in range(n_quanta):
+            # Wake due tasks.
+            for task in self.tasks:
+                if blocked_since[task] and task.wake_time <= now + 1e-12:
+                    blocked_since[task] = False
+                    task.burst_left = task.spec.run_quanta
+                    self._woke(task, now)
+            runnable = [t for t in self.tasks if not blocked_since[t]]
+            chosen = self._pick(runnable, now) if runnable else None
+            now += QUANTUM_S
+            if chosen is not None:
+                cpu_time[chosen.group_index] += QUANTUM_S
+                chosen.burst_left -= 1
+                self._charged(chosen, now)
+                if chosen.burst_left <= 0 and chosen.spec.block_s > 0:
+                    jitter = self.streams.lognormal_factor(
+                        chosen.rng_name, chosen.spec.jitter
+                    )
+                    chosen.wake_time = now + chosen.spec.block_s * jitter
+                    blocked_since[chosen] = True
+            times[q + 1] = now
+            cumulative[:, q + 1] = cpu_time
+
+        return SchedulerTrace(
+            group_names=tuple(g.name for g in self.groups),
+            horizon_s=now,
+            quantum_s=QUANTUM_S,
+            times=times,
+            cumulative=cumulative,
+        )
+
+
+class VanillaLinuxScheduler(_SchedulerBase):
+    """Linux-2.4-style epoch scheduler over individual processes."""
+
+    name = "vanilla-linux"
+
+    def _pick(self, runnable: List[_Task], now: float) -> Optional[_Task]:
+        with_counter = [t for t in runnable if t.counter > 0]
+        if not with_counter:
+            # Epoch end: recharge everyone (blocked tasks keep half their
+            # leftover counter — the I/O boost).
+            for task in self.tasks:
+                task.counter = task.counter // 2 + BASE_COUNTER
+            with_counter = runnable
+        # Largest counter wins ("goodness"); ties by task order.
+        return max(with_counter, key=lambda t: t.counter)
+
+    def _charged(self, task: _Task, now: float) -> None:
+        task.counter = max(0, task.counter - 1)
+
+
+class ProportionalShareScheduler(_SchedulerBase):
+    """Stride scheduling over task groups (one group per userid)."""
+
+    name = "proportional-share"
+
+    def __init__(self, groups: Sequence[TaskGroup], streams: Optional[RandomStreams] = None):
+        super().__init__(groups, streams)
+        self._stride = [STRIDE_CONSTANT / g.tickets for g in self.groups]
+        self._pass = [0.0 for _ in self.groups]
+        self._rr_index = [0 for _ in self.groups]
+        self._group_idle = [False for _ in self.groups]
+
+    def _pick(self, runnable: List[_Task], now: float) -> Optional[_Task]:
+        by_group: Dict[int, List[_Task]] = {}
+        for task in runnable:
+            by_group.setdefault(task.group_index, []).append(task)
+        if not by_group:
+            return None
+        # Re-base groups waking from idleness to the current virtual time
+        # (taken from the groups that stayed active) so they neither
+        # monopolise the CPU to catch up nor owe time they never used.
+        non_idle = [g for g in by_group if not self._group_idle[g]]
+        if non_idle:
+            virtual_time = min(self._pass[g] for g in non_idle)
+        else:
+            virtual_time = max(self._pass[g] for g in by_group)
+        for g in by_group:
+            if self._group_idle[g]:
+                # One stride of credit: a group that blocked after
+                # under-using its share wakes with priority, which lets
+                # I/O-bound nodes (like *log*) actually collect their
+                # entitlement; the bound prevents catch-up monopolies.
+                self._pass[g] = max(self._pass[g], virtual_time - self._stride[g])
+                self._group_idle[g] = False
+        for g in range(len(self.groups)):
+            if g not in by_group:
+                self._group_idle[g] = True
+        g = min(by_group, key=lambda gi: (self._pass[gi], gi))
+        tasks = by_group[g]
+        index = self._rr_index[g] % len(tasks)
+        self._rr_index[g] += 1
+        self._pass[g] += self._stride[g]
+        return tasks[index]
+
+
+# Convenience alias used by experiment code.
+SchedulerRun = _SchedulerBase
+
+
+def figure5_groups() -> List[TaskGroup]:
+    """The three virtual service nodes of the Figure 5 experiment.
+
+    "we create two additional virtual service nodes *comp* and *log* in
+    *tacoma*, besides the one for web content service (*web*). [...]
+    Each of the three virtual service nodes is allocated an *equal*
+    share of the CPU.  However, their loads are *higher* than their
+    respective shares."  The differing process counts per node are what
+    vanilla Linux rewards and the proportional-share scheduler ignores.
+    """
+    return [
+        TaskGroup("web", [WorkloadSpec.web_server(), WorkloadSpec.web_server()], tickets=1.0),
+        TaskGroup("comp", [WorkloadSpec.cpu_hog()] * 3, tickets=1.0),
+        TaskGroup("log", [WorkloadSpec.disk_logger()], tickets=1.0),
+    ]

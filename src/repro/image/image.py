@@ -1,0 +1,92 @@
+"""Service images published by ASPs.
+
+A :class:`ServiceImage` is everything the SODA Daemon downloads and
+boots: a guest rootfs configuration, the set of system services the
+application needs (the tailoring input), the application's RPM
+packages, and the entry-point command.  ``components`` supports the
+partitionable-service extension (paper §3.5 lists it as future work):
+an image may declare multiple components, and the Master can map
+different components to different virtual service nodes instead of full
+replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.guestos.rootfs import RootFilesystem
+from repro.image.rpm import RpmPackage, total_size_mb
+
+__all__ = ["ServiceComponent", "ServiceImage"]
+
+
+@dataclass(frozen=True)
+class ServiceComponent:
+    """One component of a partitionable service."""
+
+    name: str
+    entrypoint: str
+    required_services: Tuple[str, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"component {self.name!r}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class ServiceImage:
+    """An ASP's published application service image."""
+
+    name: str
+    rootfs: RootFilesystem
+    required_services: Tuple[str, ...]
+    entrypoint: str
+    app_packages: Tuple[RpmPackage, ...] = ()
+    port: int = 8080
+    app_kind: str = "generic"
+    components: Tuple[ServiceComponent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.port <= 65535:
+            raise ValueError(f"image {self.name!r}: port {self.port} out of range")
+        closure = self.rootfs.registry.dependency_closure(self.required_services)
+        missing = closure - self.rootfs.services
+        if missing:
+            raise ValueError(
+                f"image {self.name!r}: rootfs {self.rootfs.name!r} lacks "
+                f"required services {sorted(missing)}"
+            )
+        for component in self.components:
+            comp_closure = self.rootfs.registry.dependency_closure(
+                component.required_services
+            )
+            if not comp_closure <= self.rootfs.services:
+                raise ValueError(
+                    f"image {self.name!r}: component {component.name!r} needs "
+                    f"services missing from the rootfs"
+                )
+
+    @property
+    def size_mb(self) -> float:
+        """Download volume: rootfs plus application packages."""
+        return self.rootfs.size_mb + total_size_mb(self.app_packages)
+
+    @property
+    def is_partitionable(self) -> bool:
+        return len(self.components) > 0
+
+    def tailored_rootfs(self) -> RootFilesystem:
+        """The rootfs the Daemon boots after customization (§4.3)."""
+        return self.rootfs.tailored_for(self.required_services)
+
+    def component_rootfs(self, component_name: str) -> RootFilesystem:
+        """Tailored rootfs for one component of a partitionable image."""
+        for component in self.components:
+            if component.name == component_name:
+                return self.rootfs.tailored_for(component.required_services)
+        raise KeyError(f"image {self.name!r} has no component {component_name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceImage({self.name!r}, {self.size_mb:.1f} MB, kind={self.app_kind!r})"

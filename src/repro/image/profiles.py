@@ -1,0 +1,185 @@
+"""The four application-service images of the paper's Table 2.
+
+| Service | Linux configuration                       | Image size |
+| S_I     | rootfs_base_1.0                           | 29.3 MB    |
+| S_II    | root_fs_tomrtbt_1.7.205                   | 15 MB      |
+| S_III   | root_fs_lfs_4.0                           | 400 MB     |
+| S_IV    | root_fs.rh-7.2-server.pristine.20021012   | 253 MB     |
+
+"Each of S_I, S_II and S_III requires a tailored (and different) subset
+of Linux system services, while S_IV requires a full-blown Linux
+server" (§4.3).  S_I is the web content service and S_II the honeypot
+used in the §5 experiments.
+
+The base size of each rootfs is derived so the total image size matches
+the paper exactly; the *service sets* are the modelling choice (they
+determine boot time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.guestos.rootfs import RootFilesystem
+from repro.guestos.services import ServiceRegistry, default_registry
+from repro.image.image import ServiceImage
+from repro.image.rpm import RpmPackage
+
+__all__ = [
+    "make_s1_web_content",
+    "make_s2_honeypot",
+    "make_s3_lfs",
+    "make_s4_full_server",
+    "paper_profiles",
+]
+
+# Paper Table 2 image sizes (MB).
+S1_SIZE_MB = 29.3
+S2_SIZE_MB = 15.0
+S3_SIZE_MB = 400.0
+S4_SIZE_MB = 253.0
+
+# Service sets per profile (tailored subsets; S_IV = everything).
+S1_SERVICES = ("syslog", "network", "inetd", "sshd", "crond", "random", "keytable")
+S2_SERVICES = ("syslog", "network", "inetd", "random", "keytable")
+S3_SERVICES = ("syslog", "network")
+
+
+def _rootfs(
+    name: str,
+    target_mb: float,
+    services,
+    app_mb: float,
+    data_mb: float,
+    registry: ServiceRegistry,
+) -> RootFilesystem:
+    """Build a rootfs whose image total hits ``target_mb`` exactly."""
+    services_mb = registry.total_size(services)
+    base_mb = target_mb - services_mb - app_mb - data_mb
+    if base_mb <= 0:
+        raise ValueError(
+            f"profile {name!r}: services+app+data ({services_mb + app_mb + data_mb:.1f} MB) "
+            f"exceed the target image size {target_mb} MB"
+        )
+    return RootFilesystem.build(
+        name, base_mb=base_mb, services=services, data_mb=data_mb, registry=registry
+    )
+
+
+def make_s1_web_content(registry: Optional[ServiceRegistry] = None) -> ServiceImage:
+    """S_I: the static web content service (rootfs_base_1.0)."""
+    registry = registry or default_registry()
+    httpd = RpmPackage(
+        name="httpd_19_5",
+        version="19.5",
+        size_mb=1.0,
+        provides=("webserver",),
+        files=("/usr/sbin/httpd_19_5", "/etc/httpd.conf", "/var/www/"),
+    )
+    rootfs = _rootfs(
+        "rootfs_base_1.0", S1_SIZE_MB, S1_SERVICES, app_mb=1.0, data_mb=0.0, registry=registry
+    )
+    return ServiceImage(
+        name="web-content",
+        rootfs=rootfs,
+        required_services=S1_SERVICES,
+        entrypoint="httpd_19_5",
+        app_packages=(httpd,),
+        port=8080,
+        app_kind="web",
+    )
+
+
+def make_s2_honeypot(registry: Optional[ServiceRegistry] = None) -> ServiceImage:
+    """S_II: the honeypot with the vulnerable ghttpd 'victim' server."""
+    registry = registry or default_registry()
+    ghttpd = RpmPackage(
+        name="ghttpd",
+        version="1.4",
+        size_mb=0.3,
+        provides=("webserver",),
+        files=("/usr/sbin/ghttpd", "/etc/ghttpd.conf"),
+    )
+    rootfs = _rootfs(
+        "root_fs_tomrtbt_1.7.205", S2_SIZE_MB, S2_SERVICES, app_mb=0.3, data_mb=0.0,
+        registry=registry,
+    )
+    return ServiceImage(
+        name="honeypot",
+        rootfs=rootfs,
+        required_services=S2_SERVICES,
+        entrypoint="ghttpd-1.4",
+        app_packages=(ghttpd,),
+        port=80,
+        app_kind="honeypot",
+    )
+
+
+def make_s3_lfs(registry: Optional[ServiceRegistry] = None) -> ServiceImage:
+    """S_III: a big-data service on a Linux-From-Scratch rootfs.
+
+    Few system services but a 400 MB filesystem (the LFS build tree) —
+    the profile that exposes the RAM-disk / disk-mount asymmetry
+    between *seattle* and *tacoma* in Table 2.
+    """
+    registry = registry or default_registry()
+    matcher = RpmPackage(
+        name="genome-matcher",
+        version="0.9",
+        size_mb=2.0,
+        files=("/usr/bin/genome-matcher", "/var/genome/db/"),
+    )
+    rootfs = _rootfs(
+        "root_fs_lfs_4.0", S3_SIZE_MB, S3_SERVICES, app_mb=2.0, data_mb=383.0,
+        registry=registry,
+    )
+    return ServiceImage(
+        name="genome-matching",
+        rootfs=rootfs,
+        required_services=S3_SERVICES,
+        entrypoint="genome-matcher",
+        app_packages=(matcher,),
+        port=9000,
+        app_kind="compute",
+    )
+
+
+def make_s4_full_server(registry: Optional[ServiceRegistry] = None) -> ServiceImage:
+    """S_IV: a full-blown Red Hat 7.2 server image — no tailoring wins."""
+    registry = registry or default_registry()
+    portal = RpmPackage(
+        name="intranet-portal",
+        version="2.1",
+        size_mb=2.0,
+        requires=("webserver",),
+        files=("/var/www/portal/",),
+    )
+    all_services = tuple(registry.names)
+    rootfs = _rootfs(
+        "root_fs.rh-7.2-server.pristine.20021012",
+        S4_SIZE_MB,
+        all_services,
+        app_mb=2.0,
+        data_mb=0.0,
+        registry=registry,
+    )
+    return ServiceImage(
+        name="full-server",
+        rootfs=rootfs,
+        required_services=all_services,
+        entrypoint="portal",
+        app_packages=(portal,),
+        port=80,
+        app_kind="web",
+    )
+
+
+def paper_profiles(registry: Optional[ServiceRegistry] = None) -> Dict[str, ServiceImage]:
+    """All four Table 2 images, keyed S_I..S_IV."""
+    registry = registry or default_registry()
+    return {
+        "S_I": make_s1_web_content(registry),
+        "S_II": make_s2_honeypot(registry),
+        "S_III": make_s3_lfs(registry),
+        "S_IV": make_s4_full_server(registry),
+    }

@@ -1,0 +1,93 @@
+"""ASP-side image repository.
+
+"The image should be stored in a machine owned by the ASP" (paper §3);
+the service creation request carries "the service image location"
+(§3.1), and each selected SODA Daemon "will download the service image
+using HTTP/1.1" (§4.3).  A repository is a named catalogue of images
+attached to a NIC on the LAN; its URL scheme is
+``http://<repo-host>/<image-name>.rpm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+from repro.image.image import ServiceImage
+from repro.net.http import HttpModel, HttpTransferStats
+from repro.net.lan import NetworkInterface
+from repro.sim.kernel import Event
+
+__all__ = ["UnknownImage", "ImageRepository"]
+
+# Server-side time to locate and start streaming an RPM (per request).
+REPO_LOOKUP_S = 0.010
+
+
+class UnknownImage(KeyError):
+    """Requested image is not in the repository."""
+
+
+@dataclass(frozen=True)
+class ImageLocation:
+    """A downloadable image URL."""
+
+    repo_host: str
+    image_name: str
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.repo_host}/{self.image_name}.rpm"
+
+
+class ImageRepository:
+    """Catalogue of published images on one ASP machine."""
+
+    def __init__(self, host_name: str, nic: NetworkInterface):
+        self.host_name = host_name
+        self.nic = nic
+        self._images: Dict[str, ServiceImage] = {}
+        self.downloads_served = 0
+
+    def publish(self, image: ServiceImage) -> ImageLocation:
+        """Make ``image`` downloadable; returns its location/URL."""
+        if image.name in self._images:
+            raise ValueError(f"image {image.name!r} already published")
+        self._images[image.name] = image
+        return ImageLocation(repo_host=self.host_name, image_name=image.name)
+
+    def unpublish(self, image_name: str) -> None:
+        if image_name not in self._images:
+            raise UnknownImage(image_name)
+        del self._images[image_name]
+
+    def get(self, image_name: str) -> ServiceImage:
+        try:
+            return self._images[image_name]
+        except KeyError:
+            raise UnknownImage(image_name) from None
+
+    def location(self, image_name: str) -> ImageLocation:
+        self.get(image_name)
+        return ImageLocation(repo_host=self.host_name, image_name=image_name)
+
+    def __contains__(self, image_name: str) -> bool:
+        return image_name in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def download(
+        self, http: HttpModel, client: NetworkInterface, image_name: str
+    ) -> Generator[Event, object, HttpTransferStats]:
+        """Serve one image download to ``client`` (simulated-process step)."""
+        image = self.get(image_name)
+        stats = yield from http.download(
+            client,
+            self.nic,
+            size_mb=image.size_mb,
+            server_time_s=REPO_LOOKUP_S,
+            label=f"image:{image_name}",
+        )
+        self.downloads_served += 1
+        return stats

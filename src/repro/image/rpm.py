@@ -1,0 +1,97 @@
+"""RPM-like application packaging.
+
+"We assume that the ASP has properly packaged the service image
+(including the executable and the data files) using RPM, so that it is
+organized into a file system with one root" (paper §4.3).  The model
+keeps what matters for SODA: package sizes (download volume), a
+provides/requires capability graph (so priming can verify an image is
+installable), and file lists (so the rootfs gains the app's files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["DependencyError", "RpmPackage", "resolve_dependencies"]
+
+
+class DependencyError(RuntimeError):
+    """Unsatisfiable package requirement."""
+
+
+@dataclass(frozen=True)
+class RpmPackage:
+    """One package in a service image."""
+
+    name: str
+    version: str
+    size_mb: float
+    provides: Tuple[str, ...] = ()
+    requires: Tuple[str, ...] = ()
+    files: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"package {self.name!r}: negative size")
+        if not self.name:
+            raise ValueError("package name cannot be empty")
+
+    @property
+    def nvr(self) -> str:
+        """name-version label, e.g. ``ghttpd-1.4``."""
+        return f"{self.name}-{self.version}"
+
+    def all_provides(self) -> FrozenSet[str]:
+        """Capabilities this package satisfies (its own name included)."""
+        return frozenset((self.name,) + self.provides)
+
+
+def resolve_dependencies(
+    roots: Sequence[RpmPackage], universe: Iterable[RpmPackage]
+) -> List[RpmPackage]:
+    """Dependency-closed install set for ``roots`` drawn from ``universe``.
+
+    Returns packages in a deterministic install order (dependencies
+    before dependents, ties by name).  Raises :class:`DependencyError`
+    when a requirement has no provider.  Cyclic requirements are
+    tolerated (RPM installs cycles as a single transaction).
+    """
+    by_capability: Dict[str, RpmPackage] = {}
+    for pkg in universe:
+        for cap in pkg.all_provides():
+            # First provider wins; deterministic given universe order.
+            by_capability.setdefault(cap, pkg)
+    for pkg in roots:
+        for cap in pkg.all_provides():
+            by_capability.setdefault(cap, pkg)
+
+    selected: Dict[str, RpmPackage] = {}
+    order: List[RpmPackage] = []
+    visiting: Set[str] = set()
+
+    def visit(pkg: RpmPackage) -> None:
+        if pkg.name in selected:
+            return
+        if pkg.name in visiting:
+            return  # cycle: will be installed in the same transaction
+        visiting.add(pkg.name)
+        for requirement in sorted(pkg.requires):
+            provider = by_capability.get(requirement)
+            if provider is None:
+                raise DependencyError(
+                    f"package {pkg.nvr}: requirement {requirement!r} has no provider"
+                )
+            visit(provider)
+        visiting.discard(pkg.name)
+        selected[pkg.name] = pkg
+        order.append(pkg)
+
+    for pkg in sorted(roots, key=lambda p: p.name):
+        visit(pkg)
+    return order
+
+
+def total_size_mb(packages: Iterable[RpmPackage]) -> float:
+    """Sum of package sizes (download volume)."""
+    return sum(p.size_mb for p in packages)

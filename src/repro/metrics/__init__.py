@@ -1,0 +1,22 @@
+"""Measurement analysis and report rendering.
+
+* :mod:`repro.metrics.stats` — summary statistics, confidence
+  intervals, and least-squares fits (used e.g. to verify download time
+  is linear in image size, §4.3).
+* :mod:`repro.metrics.report` — plain-text table and chart renderers
+  plus the :class:`ExperimentResult` container every experiment module
+  returns; EXPERIMENTS.md is generated from these.
+"""
+
+from repro.metrics.report import Comparison, ExperimentResult, render_chart, render_table
+from repro.metrics.stats import confidence_interval_95, linear_fit, summarize
+
+__all__ = [
+    "Comparison",
+    "ExperimentResult",
+    "confidence_interval_95",
+    "linear_fit",
+    "render_chart",
+    "render_table",
+    "summarize",
+]

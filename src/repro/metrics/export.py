@@ -1,0 +1,70 @@
+"""CSV export of experiment results.
+
+The text renderers target terminals; plotting pipelines want CSV.
+Every :class:`~repro.metrics.report.ExperimentResult` exports its table,
+its series, and its comparison block as separate CSV documents.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict
+
+from repro.metrics.report import ExperimentResult
+
+__all__ = ["table_csv", "series_csv", "comparisons_csv", "export_all"]
+
+
+def table_csv(result: ExperimentResult) -> str:
+    """The result's main table as CSV (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def series_csv(result: ExperimentResult, name: str) -> str:
+    """One named series as two-column CSV."""
+    if name not in result.series:
+        raise KeyError(
+            f"no series {name!r} in {result.experiment_id}; "
+            f"have {sorted(result.series)}"
+        )
+    x, y = result.series[name]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["x", "y"])
+    for xv, yv in zip(x, y):
+        writer.writerow([xv, yv])
+    return buffer.getvalue()
+
+
+def comparisons_csv(result: ExperimentResult) -> str:
+    """The paper-vs-measured block as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["check", "paper", "measured", "within_tolerance", "note"])
+    for c in result.comparisons:
+        writer.writerow(
+            [
+                c.name,
+                "" if c.paper is None else c.paper,
+                c.measured,
+                "" if c.within_tolerance is None else c.within_tolerance,
+                c.note,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def export_all(result: ExperimentResult) -> Dict[str, str]:
+    """Every document for one result, keyed by suggested filename."""
+    documents = {f"{result.experiment_id}.csv": table_csv(result)}
+    if result.comparisons:
+        documents[f"{result.experiment_id}_comparisons.csv"] = comparisons_csv(result)
+    for index, name in enumerate(sorted(result.series)):
+        documents[f"{result.experiment_id}_series{index}.csv"] = series_csv(result, name)
+    return documents

@@ -1,0 +1,132 @@
+"""Experiment result containers and plain-text rendering.
+
+Every experiment module returns an :class:`ExperimentResult`; the
+runner renders it as the table/figure the paper printed plus a
+paper-vs-measured comparison block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Comparison", "ExperimentResult", "render_table", "render_chart"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured check."""
+
+    name: str
+    paper: Optional[float]
+    measured: float
+    tolerance_rel: float = 0.25
+    note: str = ""
+
+    @property
+    def within_tolerance(self) -> Optional[bool]:
+        """None when the paper reports no number (shape-only checks)."""
+        if self.paper is None:
+            return None
+        if self.paper == 0:
+            return abs(self.measured) <= self.tolerance_rel
+        return abs(self.measured - self.paper) / abs(self.paper) <= self.tolerance_rel
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment produced."""
+
+    experiment_id: str
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List[str]] = field(default_factory=list)
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = field(default_factory=dict)
+    comparisons: List[Comparison] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def compare(
+        self,
+        name: str,
+        paper: Optional[float],
+        measured: float,
+        tolerance_rel: float = 0.25,
+        note: str = "",
+    ) -> Comparison:
+        comparison = Comparison(name, paper, measured, tolerance_rel, note)
+        self.comparisons.append(comparison)
+        return comparison
+
+    @property
+    def all_within_tolerance(self) -> bool:
+        return all(c.within_tolerance is not False for c in self.comparisons)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        for name, (x, y) in self.series.items():
+            parts.append(f"-- {name} --")
+            parts.append(render_chart(x, y))
+        if self.comparisons:
+            comp_rows = []
+            for c in self.comparisons:
+                status = {True: "ok", False: "OFF", None: "--"}[c.within_tolerance]
+                paper = "n/a" if c.paper is None else f"{c.paper:g}"
+                comp_rows.append([c.name, paper, f"{c.measured:.4g}", status, c.note])
+            parts.append("paper vs measured:")
+            parts.append(
+                render_table(["check", "paper", "measured", "status", "note"], comp_rows)
+            )
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Markdown-ish fixed-width table."""
+    if not headers:
+        raise ValueError("headers required")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+    cells = [list(map(str, headers))] + [list(map(str, r)) for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+        if idx == 0:
+            lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    return "\n".join(lines)
+
+
+def render_chart(
+    x: Sequence[float], y: Sequence[float], width: int = 50, height: int = 12
+) -> str:
+    """A small ASCII scatter/line chart (figures in a terminal)."""
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if not x:
+        raise ValueError("empty series")
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    x_lo, x_hi = float(xa.min()), float(xa.max())
+    y_lo, y_hi = float(ya.min()), float(ya.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xa, ya):
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = int((yv - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{y_hi:10.3g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{x_lo:<10.4g}{'':^{max(0, width - 20)}}{x_hi:>10.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Summary statistics for experiment analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "confidence_interval_95", "linear_fit"]
+
+# Two-sided 97.5% normal quantile (large-sample CI).
+_Z975 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    return Summary(
+        n=len(arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Large-sample 95% CI for the mean (z-based)."""
+    if len(values) < 2:
+        raise ValueError("need at least two observations for a CI")
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    half = _Z975 * float(arr.std(ddof=1)) / np.sqrt(len(arr))
+    return mean - half, mean + half
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares ``y = slope*x + intercept``; returns (slope,
+    intercept, r_squared).
+
+    Used to check the §4.3 claim that image download time "grows
+    linearly with the size of the service image".
+    """
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    if len(x) < 2:
+        raise ValueError("need at least two points for a fit")
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if np.allclose(xa, xa[0]):
+        raise ValueError("x values are all identical")
+    slope, intercept = np.polyfit(xa, ya, 1)
+    predicted = slope * xa + intercept
+    ss_res = float(np.sum((ya - predicted) ** 2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(slope), float(intercept), r_squared

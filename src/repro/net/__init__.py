@@ -1,0 +1,27 @@
+"""Network substrate.
+
+Models the paper's 100 Mbps departmental LAN (§4) at flow granularity:
+
+* :mod:`repro.net.lan` — a shared segment plus per-host NICs with
+  max-min fair bandwidth sharing between concurrent flows (fluid model).
+* :mod:`repro.net.ip` — IPv4 address pools; each SODA Daemon owns a
+  disjoint pool to hand out to virtual service nodes (§4.3).
+* :mod:`repro.net.http` — an HTTP/1.1 transfer model used for active
+  service image downloading (§4.3) and for client request/response
+  exchanges.
+"""
+
+from repro.net.http import HttpModel, HttpTransferStats
+from repro.net.ip import IPAddressPool, IPPoolExhausted, parse_ipv4
+from repro.net.lan import LAN, Flow, NetworkInterface
+
+__all__ = [
+    "LAN",
+    "Flow",
+    "HttpModel",
+    "HttpTransferStats",
+    "IPAddressPool",
+    "IPPoolExhausted",
+    "NetworkInterface",
+    "parse_ipv4",
+]

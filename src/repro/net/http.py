@@ -1,0 +1,156 @@
+"""HTTP/1.1 transfer model.
+
+Used in two places:
+
+* **Active service image downloading** (paper §4.3): "the SODA Daemon on
+  each selected HUP host will download the service image using
+  HTTP/1.1".  The paper measures download time growing linearly with
+  image size on the 100 Mbps LAN; that linearity falls out of the
+  bandwidth-dominated regime of this model.
+* **Client request/response exchanges** driven by the siege workload
+  generator (§5).
+
+The model charges, per request: one request transmission (latency +
+small request message), server-side processing supplied by the caller,
+and a response body transfer over the LAN fluid model with a TCP
+efficiency factor (protocol headers + slow-start ramp amortised).
+HTTP/1.1 persistent connections are modelled by paying the connection
+setup only on the first request of a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.net.lan import LAN, NetworkInterface
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["HttpTransferStats", "HttpModel"]
+
+# Effective goodput fraction after TCP/IP + HTTP header overhead.  A
+# 100 Mbps LAN yields ~11.xx MB/s of application payload in practice.
+TCP_EFFICIENCY = 0.94
+
+# TCP three-way handshake ≈ 1.5 RTT; we charge it once per session
+# (HTTP/1.1 keeps the connection alive across requests).
+HANDSHAKE_RTTS = 1.5
+
+# Request messages are small; modelled as a fixed size.
+REQUEST_SIZE_MB = 0.0005  # ~500 bytes
+
+
+@dataclass
+class HttpTransferStats:
+    """Outcome of one HTTP exchange."""
+
+    started_at: float
+    finished_at: float
+    payload_mb: float
+    connection_setup_s: float = 0.0
+    server_time_s: float = 0.0
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def goodput_mbps(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.payload_mb * 8.0 / self.elapsed
+
+
+@dataclass
+class HttpSession:
+    """Tracks per-connection state (persistent connections)."""
+
+    client: NetworkInterface
+    server: NetworkInterface
+    connected: bool = False
+    requests_served: int = field(default=0)
+
+
+class HttpModel:
+    """HTTP/1.1 request/response mechanics over a :class:`LAN`."""
+
+    def __init__(self, sim: Simulator, lan: LAN):
+        self.sim = sim
+        self.lan = lan
+
+    def session(self, client: NetworkInterface, server: NetworkInterface) -> HttpSession:
+        """Open a logical persistent-connection session."""
+        return HttpSession(client=client, server=server)
+
+    def exchange(
+        self,
+        session: HttpSession,
+        response_mb: float,
+        server_time_s: float = 0.0,
+        rate_cap_mbps: Optional[float] = None,
+        label: str = "http",
+    ) -> Generator[Event, object, HttpTransferStats]:
+        """One request/response on ``session`` (a simulated-process step).
+
+        Yields simulation events; returns :class:`HttpTransferStats`.
+        ``server_time_s`` is the simulated server-side processing charged
+        between receiving the request and starting the response.
+        ``rate_cap_mbps`` caps the response flow (traffic-shaper hook).
+        """
+        if response_mb < 0:
+            raise ValueError(f"negative response size: {response_mb}")
+        if server_time_s < 0:
+            raise ValueError(f"negative server time: {server_time_s}")
+        started = self.sim.now
+        setup = 0.0
+        if not session.connected:
+            setup = HANDSHAKE_RTTS * 2 * self.lan.latency_s
+            if setup > 0:
+                yield self.sim.timeout(setup)
+            session.connected = True
+        # Request message client -> server.
+        request_flow = self.lan.transfer(
+            session.client, session.server, REQUEST_SIZE_MB, label=f"{label}:req"
+        )
+        yield request_flow.done
+        # Server-side processing.
+        if server_time_s > 0:
+            yield self.sim.timeout(server_time_s)
+        # Response body server -> client, inflated for protocol overhead.
+        wire_mb = response_mb / TCP_EFFICIENCY
+        response_flow = self.lan.transfer(
+            session.server,
+            session.client,
+            wire_mb,
+            rate_cap_mbps=rate_cap_mbps,
+            label=f"{label}:resp",
+        )
+        yield response_flow.done
+        session.requests_served += 1
+        return HttpTransferStats(
+            started_at=started,
+            finished_at=self.sim.now,
+            payload_mb=response_mb,
+            connection_setup_s=setup,
+            server_time_s=server_time_s,
+        )
+
+    def download(
+        self,
+        client: NetworkInterface,
+        server: NetworkInterface,
+        size_mb: float,
+        server_time_s: float = 0.0,
+        rate_cap_mbps: Optional[float] = None,
+        label: str = "download",
+    ) -> Generator[Event, object, HttpTransferStats]:
+        """One-shot GET on a fresh connection (image download path)."""
+        session = self.session(client, server)
+        stats = yield from self.exchange(
+            session,
+            response_mb=size_mb,
+            server_time_s=server_time_s,
+            rate_cap_mbps=rate_cap_mbps,
+            label=label,
+        )
+        return stats

@@ -1,0 +1,131 @@
+"""IPv4 address pools for virtual service nodes.
+
+Each SODA Daemon "maintains a pool of IP addresses to be assigned to the
+virtual service nodes running in this HUP host. For different HUP hosts,
+their pools of IP addresses must be disjoint" (paper §4.3).  The pools
+here enforce both properties: allocation/release within a pool, and a
+module-level disjointness check used when a HUP is assembled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+__all__ = ["parse_ipv4", "format_ipv4", "IPPoolExhausted", "IPAddressPool"]
+
+
+class IPPoolExhausted(RuntimeError):
+    """Raised when a pool has no free addresses left."""
+
+
+def parse_ipv4(address: str) -> int:
+    """Parse dotted-quad IPv4 into an int; raises ValueError if malformed."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise ValueError(f"malformed IPv4 address: {address!r}")
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ipv4(value: int) -> str:
+    """Int back to dotted-quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 int out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class IPAddressPool:
+    """A contiguous range of IPv4 addresses owned by one SODA Daemon.
+
+    Addresses are handed out lowest-first and can be released back;
+    released addresses are reused before fresh ones (lowest-first again),
+    keeping allocation deterministic.
+
+    >>> pool = IPAddressPool("128.10.9.125", size=4)
+    >>> pool.allocate()
+    '128.10.9.125'
+    >>> pool.allocate()
+    '128.10.9.126'
+    """
+
+    def __init__(self, first: str, size: int, owner: str = ""):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self._first = parse_ipv4(first)
+        if self._first + size - 1 > 0xFFFFFFFF:
+            raise ValueError("pool overflows IPv4 space")
+        self.size = size
+        self.owner = owner
+        self._free: List[int] = list(range(self._first, self._first + size))
+        self._allocated: Set[int] = set()
+
+    @property
+    def first(self) -> str:
+        return format_ipv4(self._first)
+
+    @property
+    def last(self) -> str:
+        return format_ipv4(self._first + self.size - 1)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_allocated(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self) -> str:
+        """Hand out the lowest free address."""
+        if not self._free:
+            raise IPPoolExhausted(
+                f"pool {self.first}-{self.last} (owner {self.owner!r}) exhausted"
+            )
+        value = min(self._free)
+        self._free.remove(value)
+        self._allocated.add(value)
+        return format_ipv4(value)
+
+    def release(self, address: str) -> None:
+        """Return ``address`` to the pool."""
+        value = parse_ipv4(address)
+        if value not in self._allocated:
+            raise ValueError(f"address {address} was not allocated from this pool")
+        self._allocated.remove(value)
+        self._free.append(value)
+
+    def contains(self, address: str) -> bool:
+        value = parse_ipv4(address)
+        return self._first <= value < self._first + self.size
+
+    def range(self) -> Tuple[int, int]:
+        """(first, last) as ints — used by the disjointness check."""
+        return self._first, self._first + self.size - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IPAddressPool({self.first}-{self.last}, owner={self.owner!r}, "
+            f"free={self.n_free}/{self.size})"
+        )
+
+
+def check_disjoint(pools: Iterable[IPAddressPool]) -> Optional[Tuple[str, str]]:
+    """Return a pair of owner names whose pools overlap, or None.
+
+    The SODA Master calls this when the HUP is assembled; overlapping
+    daemon pools would let two virtual service nodes claim the same IP.
+    """
+    ranges = sorted((pool.range(), pool.owner) for pool in pools)
+    for ((_, prev_last), prev_owner), ((cur_first, _), cur_owner) in zip(
+        ranges, ranges[1:]
+    ):
+        if cur_first <= prev_last:
+            return prev_owner, cur_owner
+    return None

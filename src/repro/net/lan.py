@@ -1,0 +1,266 @@
+"""Flow-level LAN model with max-min fair bandwidth sharing.
+
+The paper's testbed is a 100 Mbps departmental LAN (§4).  We model it as
+a fluid system: each active :class:`Flow` drains at a rate determined by
+progressive-filling max-min fairness subject to
+
+* the shared LAN segment capacity,
+* the source and destination NIC capacities, and
+* an optional per-flow rate cap (this is the hook the host-OS traffic
+  shaper of §4.2 uses to enforce per-node outbound bandwidth shares).
+
+Rates are recomputed whenever the flow set changes, and the kernel wakes
+the LAN exactly at the next flow-completion instant, so the model is
+event-driven and exact for piecewise-constant rate allocations.
+Transfers between two endpoints on the same NIC short-circuit through a
+loopback path and consume no LAN bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["NetworkInterface", "Flow", "LAN"]
+
+# Rate granted to co-located (same-NIC) transfers, in MB/s.  Generous but
+# finite so loopback transfers still take simulated time.
+LOOPBACK_RATE_MBPS = 4000.0
+
+_EPS = 1e-9
+
+
+class NetworkInterface:
+    """A host NIC attached to the LAN."""
+
+    def __init__(self, name: str, rate_mbps: float):
+        if rate_mbps <= 0:
+            raise ValueError(f"NIC rate must be positive, got {rate_mbps}")
+        self.name = name
+        self.rate_mbps = rate_mbps
+
+    @property
+    def rate_mbs(self) -> float:
+        """Capacity in megabytes per second."""
+        return self.rate_mbps / 8.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkInterface({self.name!r}, {self.rate_mbps} Mbps)"
+
+
+class Flow:
+    """One in-flight transfer.
+
+    ``done`` fires (with the flow itself as value) when the last byte has
+    arrived at the destination, i.e. after the data has drained plus one
+    propagation latency.
+    """
+
+    def __init__(
+        self,
+        lan: "LAN",
+        src: NetworkInterface,
+        dst: NetworkInterface,
+        size_mb: float,
+        rate_cap_mbps: Optional[float],
+        label: str,
+    ):
+        self.lan = lan
+        self.src = src
+        self.dst = dst
+        self.size_mb = size_mb
+        self.remaining_mb = size_mb
+        self.rate_cap_mbps = rate_cap_mbps
+        self.label = label
+        self.rate_mbs = 0.0  # current allocated rate, MB/s
+        self.started_at = lan.sim.now
+        self.finished_at: Optional[float] = None
+        self.done: Event = Event(lan.sim)
+
+    @property
+    def is_loopback(self) -> bool:
+        return self.src is self.dst
+
+    @property
+    def cap_mbs(self) -> float:
+        if self.rate_cap_mbps is None:
+            return math.inf
+        return self.rate_cap_mbps / 8.0
+
+    def set_rate_cap(self, rate_cap_mbps: Optional[float]) -> None:
+        """Change the cap mid-flight (used by dynamic traffic shaping)."""
+        if rate_cap_mbps is not None and rate_cap_mbps <= 0:
+            raise ValueError(f"rate cap must be positive, got {rate_cap_mbps}")
+        self.lan._advance()
+        self.rate_cap_mbps = rate_cap_mbps
+        self.lan._reschedule()
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.lan.sim.now
+        return end - self.started_at
+
+    def mean_rate_mbps(self) -> float:
+        """Achieved average rate over the flow's lifetime, in Mbps."""
+        if self.elapsed <= 0:
+            return 0.0
+        return (self.size_mb - self.remaining_mb) * 8.0 / self.elapsed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Flow({self.label!r}, {self.src.name}->{self.dst.name}, "
+            f"{self.remaining_mb:.3f}/{self.size_mb:.3f} MB)"
+        )
+
+
+class LAN:
+    """The shared network segment connecting all HUP hosts and clients."""
+
+    def __init__(self, sim: Simulator, bandwidth_mbps: float = 100.0, latency_s: float = 0.0002):
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"LAN bandwidth must be positive, got {bandwidth_mbps}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_s}")
+        self.sim = sim
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_s = latency_s
+        self._nics: Dict[str, NetworkInterface] = {}
+        self._flows: List[Flow] = []
+        self._last_update = sim.now
+        self._wake_generation = 0
+
+    # -- topology ---------------------------------------------------------
+    def nic(self, name: str, rate_mbps: Optional[float] = None) -> NetworkInterface:
+        """Get or create the NIC named ``name``.
+
+        ``rate_mbps`` is required on first creation; on later lookups it
+        must be omitted or match.
+        """
+        if name in self._nics:
+            existing = self._nics[name]
+            if rate_mbps is not None and rate_mbps != existing.rate_mbps:
+                raise ValueError(
+                    f"NIC {name!r} already attached at {existing.rate_mbps} Mbps"
+                )
+            return existing
+        if rate_mbps is None:
+            raise ValueError(f"unknown NIC {name!r} and no rate given")
+        nic = NetworkInterface(name, rate_mbps)
+        self._nics[name] = nic
+        return nic
+
+    @property
+    def active_flows(self) -> List[Flow]:
+        return list(self._flows)
+
+    # -- transfers ----------------------------------------------------------
+    def transfer(
+        self,
+        src: NetworkInterface,
+        dst: NetworkInterface,
+        size_mb: float,
+        rate_cap_mbps: Optional[float] = None,
+        label: str = "",
+    ) -> Flow:
+        """Start a transfer; ``flow.done`` fires on completion."""
+        if size_mb < 0:
+            raise ValueError(f"negative transfer size: {size_mb}")
+        if rate_cap_mbps is not None and rate_cap_mbps <= 0:
+            raise ValueError(f"rate cap must be positive, got {rate_cap_mbps}")
+        flow = Flow(self, src, dst, size_mb, rate_cap_mbps, label)
+        if size_mb == 0:
+            self._finish(flow)
+            return flow
+        self._advance()
+        self._flows.append(flow)
+        self._reschedule()
+        return flow
+
+    # -- fluid-model internals ----------------------------------------------
+    def _advance(self) -> None:
+        """Drain all flows at their current rates up to now."""
+        dt = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if dt <= 0:
+            return
+        finished: List[Flow] = []
+        for flow in self._flows:
+            flow.remaining_mb = max(0.0, flow.remaining_mb - flow.rate_mbs * dt)
+            if flow.remaining_mb <= _EPS:
+                flow.remaining_mb = 0.0
+                finished.append(flow)
+        for flow in finished:
+            self._flows.remove(flow)
+            self._finish(flow)
+
+    def _finish(self, flow: Flow) -> None:
+        """Deliver the last byte after one propagation latency."""
+        flow.finished_at = self.sim.now + self.latency_s
+        if self.latency_s == 0:
+            flow.done.succeed(flow)
+        else:
+            delivery = self.sim.timeout(self.latency_s)
+            delivery.callbacks.append(lambda _ev, f=flow: f.done.succeed(f))
+
+    def _compute_rates(self) -> None:
+        """Progressive-filling max-min fair allocation.
+
+        Resources: the LAN segment (used by every non-loopback flow) and
+        each NIC (as source or destination).  Per-flow caps are honoured.
+        """
+        residual: Dict[object, float] = {"lan": self.bandwidth_mbps / 8.0}
+        count: Dict[object, int] = {"lan": 0}
+        flow_resources: Dict[Flow, List[object]] = {}
+        for flow in self._flows:
+            if flow.is_loopback:
+                flow_resources[flow] = []
+                continue
+            resources: List[object] = ["lan", flow.src, flow.dst]
+            flow_resources[flow] = resources
+            for r in resources:
+                if r not in residual:
+                    assert isinstance(r, NetworkInterface)
+                    residual[r] = r.rate_mbs
+                    count[r] = 0
+                count[r] += 1
+
+        unfixed: Set[Flow] = set(self._flows)
+        while unfixed:
+            limits: Dict[Flow, float] = {}
+            for flow in unfixed:
+                limit = min(flow.cap_mbs, LOOPBACK_RATE_MBPS / 8.0) if flow.is_loopback else flow.cap_mbs
+                for r in flow_resources[flow]:
+                    if count[r] > 0:
+                        limit = min(limit, residual[r] / count[r])
+                limits[flow] = limit
+            bottleneck = min(limits.values())
+            newly_fixed = [f for f in unfixed if limits[f] <= bottleneck + _EPS]
+            assert newly_fixed, "progressive filling must fix at least one flow"
+            for flow in newly_fixed:
+                flow.rate_mbs = limits[flow]
+                for r in flow_resources[flow]:
+                    residual[r] = max(0.0, residual[r] - flow.rate_mbs)
+                    count[r] -= 1
+                unfixed.discard(flow)
+
+    def _reschedule(self) -> None:
+        """Recompute rates and arm a wake-up at the next completion."""
+        self._compute_rates()
+        self._wake_generation += 1
+        generation = self._wake_generation
+        next_completion = math.inf
+        for flow in self._flows:
+            if flow.rate_mbs > 0:
+                next_completion = min(next_completion, flow.remaining_mb / flow.rate_mbs)
+        if math.isinf(next_completion):
+            return
+        wake = self.sim.timeout(next_completion)
+        wake.callbacks.append(lambda _ev: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a newer reschedule
+        self._advance()
+        self._reschedule()

@@ -1,0 +1,150 @@
+"""Wide-area links between LANs (§3.5's wide-area HUP).
+
+"One way to construct a wide-area HUP is to *federate* multiple local
+HUPs" — which makes cross-HUP traffic (above all, service image
+downloads from an ASP repository in another site) traverse a WAN link.
+A :class:`WanLink` joins two LANs through gateway NICs and carries
+cross-site transfers with:
+
+* fair sharing of the WAN bandwidth among concurrent cross transfers
+  (per-flow caps recomputed as transfers join/leave),
+* cut-through forwarding approximated by running the two LAN-side
+  flows concurrently under the WAN cap (completion = both sides done),
+* WAN propagation latency added once.
+
+Intra-LAN traffic is untouched; the WAN appears to each LAN only as a
+pair of ordinary (busy) NICs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.lan import LAN, Flow, NetworkInterface
+from repro.sim.kernel import Event, Simulator
+
+__all__ = ["WanTransfer", "WanLink"]
+
+
+class WanTransfer:
+    """One cross-LAN transfer; ``done`` fires when the last byte lands."""
+
+    def __init__(self, link: "WanLink", flow_a: Flow, flow_b: Flow):
+        self.link = link
+        self.flow_a = flow_a
+        self.flow_b = flow_b
+        self.done: Event = Event(link.sim)
+        self.started_at = link.sim.now
+        self.finished_at: Optional[float] = None
+
+    @property
+    def size_mb(self) -> float:
+        return self.flow_a.size_mb
+
+    @property
+    def elapsed(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.link.sim.now
+        return end - self.started_at
+
+
+class WanLink:
+    """A bandwidth/latency pipe joining two LANs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        lan_a: LAN,
+        lan_b: LAN,
+        bandwidth_mbps: float,
+        latency_s: float = 0.030,
+        name: str = "wan",
+    ):
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"WAN bandwidth must be positive, got {bandwidth_mbps}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be non-negative, got {latency_s}")
+        if lan_a is lan_b:
+            raise ValueError("a WAN link must join two distinct LANs")
+        self.sim = sim
+        self.lan_a = lan_a
+        self.lan_b = lan_b
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_s = latency_s
+        self.name = name
+        # Gateway routers: one NIC on each LAN, sized to the WAN rate so
+        # the gateway itself never under-sells the pipe.
+        self.gateway_a = lan_a.nic(f"{name}-gw-a", bandwidth_mbps)
+        self.gateway_b = lan_b.nic(f"{name}-gw-b", bandwidth_mbps)
+        self._active: List[WanTransfer] = []
+
+    def _side_of(self, nic: NetworkInterface) -> Optional[LAN]:
+        for lan in (self.lan_a, self.lan_b):
+            if lan._nics.get(nic.name) is nic:
+                return lan
+        return None
+
+    @property
+    def active_transfers(self) -> List[WanTransfer]:
+        return list(self._active)
+
+    def _reshare(self) -> None:
+        """Fair WAN share for each active transfer, applied as caps."""
+        if not self._active:
+            return
+        share = self.bandwidth_mbps / len(self._active)
+        for transfer in self._active:
+            for flow in (transfer.flow_a, transfer.flow_b):
+                if flow.remaining_mb > 0:
+                    flow.set_rate_cap(share)
+
+    def transfer(
+        self,
+        src: NetworkInterface,
+        dst: NetworkInterface,
+        size_mb: float,
+        label: str = "",
+    ) -> WanTransfer:
+        """Start a cross-LAN transfer from ``src`` to ``dst``."""
+        src_lan = self._side_of(src)
+        dst_lan = self._side_of(dst)
+        if src_lan is None or dst_lan is None:
+            raise ValueError(
+                f"endpoints must live on the linked LANs "
+                f"(src={src.name!r}, dst={dst.name!r})"
+            )
+        if src_lan is dst_lan:
+            raise ValueError(
+                f"{src.name!r} and {dst.name!r} share a LAN; use LAN.transfer"
+            )
+        src_gateway = self.gateway_a if src_lan is self.lan_a else self.gateway_b
+        dst_gateway = self.gateway_a if dst_lan is self.lan_a else self.gateway_b
+        share = self.bandwidth_mbps / (len(self._active) + 1)
+        flow_a = src_lan.transfer(
+            src, src_gateway, size_mb, rate_cap_mbps=share, label=f"{label}:wan-in"
+        )
+        flow_b = dst_lan.transfer(
+            dst_gateway, dst, size_mb, rate_cap_mbps=share, label=f"{label}:wan-out"
+        )
+        transfer = WanTransfer(self, flow_a, flow_b)
+        self._active.append(transfer)
+        self._reshare()
+
+        both = self.sim.all_of([flow_a.done, flow_b.done])
+
+        def _finish(_event: Event) -> None:
+            self._active.remove(transfer)
+            self._reshare()
+            if self.latency_s > 0:
+                delay = self.sim.timeout(self.latency_s)
+                delay.callbacks.append(
+                    lambda _ev: (_set_finished(), transfer.done.succeed(transfer))
+                )
+            else:
+                _set_finished()
+                transfer.done.succeed(transfer)
+
+        def _set_finished() -> None:
+            transfer.finished_at = self.sim.now
+
+        both.callbacks.append(_finish)
+        return transfer

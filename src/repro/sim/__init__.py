@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+This package provides the deterministic discrete-event substrate on which
+the whole SODA reproduction runs: an event heap with a simulated clock
+(:mod:`repro.sim.kernel`), generator-based simulated processes with
+interrupt support, capacity-limited resources and stores
+(:mod:`repro.sim.resources`), seeded named random streams
+(:mod:`repro.sim.rng`) and measurement monitors
+(:mod:`repro.sim.monitor`).
+
+The design intentionally mirrors the small core of SimPy so the rest of
+the codebase reads like standard simulation code, but it is implemented
+from scratch (no external simulation dependency) and is fully
+deterministic: two runs with the same seed produce identical event
+orderings and identical measurements.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.monitor import Monitor, TimeWeightedMonitor
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Interrupt",
+    "Monitor",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeWeightedMonitor",
+    "Timeout",
+]

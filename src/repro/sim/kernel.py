@@ -1,0 +1,430 @@
+"""Core discrete-event simulation kernel.
+
+A :class:`Simulator` owns a simulated clock and a binary heap of pending
+events.  Simulated activities are written as Python generators wrapped in
+:class:`Process`; a process advances by yielding :class:`Event` objects
+(most commonly :class:`Timeout`) and is resumed when the yielded event
+fires.  Events fire in ``(time, priority, sequence)`` order, so the
+simulation is deterministic: ties at the same timestamp are broken by
+scheduling order.
+
+The API is a compact subset of SimPy's:
+
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Simulator",
+]
+
+# Event priorities: URGENT fires before NORMAL at the same timestamp.
+# Used internally so that e.g. resource releases propagate before new
+# timeouts scheduled at the same instant.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (running a dead simulator, double-firing
+    an event, yielding a foreign object from a process, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The interrupting party supplies ``cause``; the interrupted process can
+    catch the exception and inspect it (used e.g. to model a virtual
+    service node being crashed by an attack while serving a request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, is *triggered* when given a value (or an
+    exception), and is *processed* once the kernel has run its callbacks.
+    Processes waiting on the event are resumed with the event's value, or
+    have the event's exception thrown into them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._ok: Optional[bool] = None
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run and the value is observable."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event value read before it was triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, URGENT)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._exception = exception
+        self.sim._schedule(self, URGENT)
+        return self
+
+    def _resolve(self) -> None:
+        """Run callbacks. Called exactly once by the kernel."""
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` units of simulated time from now."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: Tuple[Event, ...] = tuple(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        # Every constituent counts as pending until _check consumes it —
+        # including events that were already processed before the
+        # condition was built (they are consumed synchronously here).
+        self._pending = len(self.events)
+        for event in self.events:
+            if event.processed:
+                self._check(event)
+            elif event.callbacks is not None:
+                event.callbacks.append(self._check)
+        if not self.events and self._ok is None:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.processed and e.ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once *all* constituent events have fired.
+
+    Fails immediately (with the first failure's exception) if any
+    constituent fails.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event.ok:
+            assert event._exception is not None
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as *any* constituent event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self._ok is not None:
+            return
+        if not event.ok:
+            assert event._exception is not None
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())
+
+
+class _ProcessDone(Event):
+    """Terminal event of a Process; fires with the generator's return value."""
+
+
+class Process(Event):
+    """A simulated activity driven by a Python generator.
+
+    The generator yields :class:`Event` objects; the process sleeps until
+    the yielded event fires, then resumes with the event's value (or the
+    event's exception raised at the yield point).  A Process is itself an
+    Event that fires when the generator finishes, so processes can wait
+    on each other:
+
+    >>> sim = Simulator()
+    >>> def child(sim):
+    ...     yield sim.timeout(3)
+    ...     return "done"
+    >>> def parent(sim):
+    ...     result = yield sim.process(child(sim))
+    ...     assert result == "done"
+    >>> _ = sim.process(parent(sim))
+    >>> sim.run()
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any], name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume immediately (at current sim time).
+        init = Event(sim)
+        init.succeed(None)
+        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event.callbacks.append(self._resume)  # type: ignore[union-attr]
+        self.sim._schedule(interrupt_event, URGENT)
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator by one step with ``trigger``'s outcome."""
+        if self._ok is not None:
+            # Process was already finished (e.g. interrupted and completed
+            # before a stale event fired); drop the wakeup.
+            return
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if trigger._exception is not None:
+                next_event = self._generator.throw(trigger._exception)
+            else:
+                next_event = self._generator.send(trigger._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            if not self.sim._catch_process_failures:
+                raise
+            return
+        self.sim._active_process = None
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {next_event!r}"
+            )
+            self._generator.close()
+            self.fail(error)
+            raise error
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately (same timestamp).
+            immediate = Event(self.sim)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate._exception = next_event._exception
+            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
+            self.sim._schedule(immediate, URGENT)
+        else:
+            next_event.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"
+
+
+class Simulator:
+    """Owns the simulated clock and the pending-event heap.
+
+    Parameters
+    ----------
+    catch_process_failures:
+        When True (default), an exception escaping a process generator
+        fails the Process event (observable by waiters) rather than
+        aborting the whole run.  Set False in tests to surface bugs.
+    """
+
+    def __init__(self, catch_process_failures: bool = True):
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._catch_process_failures = catch_process_failures
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it with succeed/fail)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new simulated process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past (kernel bug)")
+        self._now = when
+        event._resolve()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains, or the clock reaches ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly
+        ``until`` even if the last event fires earlier.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = until
+        else:
+            while self._heap:
+                self.step()
+
+    def run_until_process(self, process: Process, limit: float = float("inf")) -> Any:
+        """Run until ``process`` completes; return its value.
+
+        Raises the process's exception if it failed, or
+        :class:`SimulationError` if the heap drains (deadlock) or the
+        clock passes ``limit`` before completion.
+        """
+        while process._ok is None:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: heap drained before process {process.name!r} finished"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for process {process.name!r}"
+                )
+            self.step()
+        return process.value

@@ -1,0 +1,149 @@
+"""Measurement monitors.
+
+:class:`Monitor` records discrete observations (e.g. per-request response
+times); :class:`TimeWeightedMonitor` records a piecewise-constant signal
+(e.g. a node's instantaneous CPU share) and integrates it over time.
+Both expose summary statistics used by the experiment harness to
+regenerate the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Monitor", "TimeWeightedMonitor"]
+
+
+class Monitor:
+    """Records ``(time, value)`` observations and summarises them."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"monitor {self.name!r}: observation at {time} before last {self.times[-1]}"
+            )
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.mean(self.values))
+
+    def std(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.std(self.values))
+
+    def total(self) -> float:
+        return float(np.sum(self.values)) if self.values else 0.0
+
+    def min(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.min(self.values))
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.max(self.values))
+
+    def percentile(self, q: float) -> float:
+        if not self.values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.values, q))
+
+    def window(self, start: float, end: float) -> "Monitor":
+        """Sub-monitor of observations with ``start <= t < end``."""
+        if end < start:
+            raise ValueError(f"empty window [{start}, {end})")
+        sub = Monitor(f"{self.name}[{start},{end})")
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                sub.record(t, v)
+        return sub
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+
+class TimeWeightedMonitor:
+    """A piecewise-constant signal integrated over simulated time.
+
+    ``set(t, v)`` records that the signal takes value ``v`` from time
+    ``t`` until the next ``set``.  ``time_average`` integrates the signal
+    over ``[start, end]``; ``bucket_averages`` produces the fixed-width
+    time series the Figure 5 reproduction plots.
+    """
+
+    def __init__(self, name: str = "", initial: float = 0.0, start_time: float = 0.0):
+        self.name = name
+        self._times: List[float] = [start_time]
+        self._values: List[float] = [initial]
+
+    def set(self, time: float, value: float) -> None:
+        if time < self._times[-1]:
+            raise ValueError(
+                f"monitor {self.name!r}: set at {time} before last {self._times[-1]}"
+            )
+        if time == self._times[-1]:
+            # Same-instant update overwrites (zero-width segment).
+            self._values[-1] = value
+            return
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def current(self) -> float:
+        return self._values[-1]
+
+    def time_average(self, start: float, end: float) -> float:
+        """Average value of the signal over ``[start, end]``."""
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end}]")
+        total = 0.0
+        times = self._times + [math.inf]
+        for i, value in enumerate(self._values):
+            seg_start = max(times[i], start)
+            seg_end = min(times[i + 1], end)
+            if seg_end > seg_start:
+                total += value * (seg_end - seg_start)
+        return total / (end - start)
+
+    def bucket_averages(
+        self, start: float, end: float, width: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bucket time averages; returns (bucket centres, averages)."""
+        if width <= 0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        if end <= start:
+            raise ValueError(f"empty interval [{start}, {end}]")
+        edges = np.arange(start, end + width * 1e-9, width)
+        if edges[-1] < end:
+            edges = np.append(edges, end)
+        centres = (edges[:-1] + edges[1:]) / 2.0
+        averages = np.array(
+            [self.time_average(lo, hi) for lo, hi in zip(edges[:-1], edges[1:])]
+        )
+        return centres, averages
+
+    def segments(self) -> Sequence[Tuple[float, float]]:
+        """The raw (time, value) breakpoints."""
+        return list(zip(self._times, self._values))

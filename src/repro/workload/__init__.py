@@ -1,0 +1,33 @@
+"""Workload substrate: clients, request generators, and attacks.
+
+* :mod:`repro.workload.apps` — per-application request profiles (the
+  web content service's dataset-dependent syscall mix, honeypot probe
+  requests, and the comp/log background jobs of Figure 5).
+* :mod:`repro.workload.siege` — the HTTP request generator standing in
+  for the paper's *siege* tool (§5): open-loop Poisson and closed-loop
+  worker modes, with response-time monitors.
+* :mod:`repro.workload.attack` — the ghttpd buffer-overflow attack
+  campaign against the honeypot (§2.1, §5 'Attack isolation').
+* :mod:`repro.workload.clients` — client machine populations on the
+  LAN.
+"""
+
+from repro.workload.apps import (
+    honeypot_probe_request,
+    web_request,
+    web_request_mix,
+)
+from repro.workload.attack import AttackCampaign, AttackOutcome
+from repro.workload.clients import ClientPool
+from repro.workload.siege import Siege, SiegeReport
+
+__all__ = [
+    "AttackCampaign",
+    "AttackOutcome",
+    "ClientPool",
+    "Siege",
+    "SiegeReport",
+    "honeypot_probe_request",
+    "web_request",
+    "web_request_mix",
+]

@@ -1,0 +1,148 @@
+"""Arrival-trace replay.
+
+Siege drives synthetic open/closed loops; real hosting platforms are
+evaluated against recorded request traces.  :class:`TraceReplay` fires
+requests at exact recorded instants, and the builders create synthetic
+traces — homogeneous Poisson, and a diurnal (sinusoidally-modulated)
+process via Lewis-Shedler thinning — so experiments can exercise the
+time-varying load a long-lived application service (§1) actually sees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generator, List, Sequence, Tuple
+
+from repro.core.errors import SODAError
+from repro.core.switch import ServiceSwitch
+from repro.sim.kernel import Event, Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.apps import web_request
+from repro.workload.clients import ClientPool
+from repro.workload.siege import SiegeReport
+
+__all__ = ["ArrivalTrace", "TraceReplay", "poisson_trace", "diurnal_trace"]
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Recorded arrivals: (time offset, dataset MB) pairs, time-sorted."""
+
+    arrivals: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        last = -1.0
+        for offset, size in self.arrivals:
+            if offset < 0 or size < 0:
+                raise ValueError(f"negative arrival entry: ({offset}, {size})")
+            if offset < last:
+                raise ValueError("trace is not time-sorted")
+            last = offset
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    @property
+    def duration(self) -> float:
+        return self.arrivals[-1][0] if self.arrivals else 0.0
+
+    def rate_in(self, start: float, end: float) -> float:
+        """Mean arrival rate inside [start, end)."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        count = sum(1 for t, _ in self.arrivals if start <= t < end)
+        return count / (end - start)
+
+
+def poisson_trace(
+    streams: RandomStreams, rate_rps: float, duration_s: float, dataset_mb: float = 0.25
+) -> ArrivalTrace:
+    """A homogeneous Poisson trace."""
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    arrivals: List[Tuple[float, float]] = []
+    t = 0.0
+    while True:
+        t += streams.exponential("trace-poisson", 1.0 / rate_rps)
+        if t >= duration_s:
+            break
+        arrivals.append((t, dataset_mb))
+    return ArrivalTrace(tuple(arrivals))
+
+
+def diurnal_trace(
+    streams: RandomStreams,
+    base_rps: float,
+    peak_factor: float,
+    period_s: float,
+    duration_s: float,
+    dataset_mb: float = 0.25,
+) -> ArrivalTrace:
+    """A sinusoidally-modulated Poisson trace (Lewis-Shedler thinning).
+
+    Instantaneous rate: ``base * (1 + (peak_factor-1)/2 * (1 + sin))``,
+    i.e. oscillating between ``base`` and ``base * peak_factor``.
+    """
+    if base_rps <= 0 or duration_s <= 0 or period_s <= 0:
+        raise ValueError("rates, period and duration must be positive")
+    if peak_factor < 1:
+        raise ValueError(f"peak factor must be >= 1, got {peak_factor}")
+    max_rate = base_rps * peak_factor
+    arrivals: List[Tuple[float, float]] = []
+    t = 0.0
+    while True:
+        t += streams.exponential("trace-diurnal", 1.0 / max_rate)
+        if t >= duration_s:
+            break
+        swing = (peak_factor - 1.0) / 2.0
+        rate_t = base_rps * (1.0 + swing * (1.0 + math.sin(2 * math.pi * t / period_s)))
+        if streams.uniform("trace-thin", 0.0, 1.0) <= rate_t / max_rate:
+            arrivals.append((t, dataset_mb))
+    return ArrivalTrace(tuple(arrivals))
+
+
+class TraceReplay:
+    """Fires a trace's requests against a service switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: ServiceSwitch,
+        clients: ClientPool,
+        trace: ArrivalTrace,
+    ):
+        self.sim = sim
+        self.switch = switch
+        self.clients = clients
+        self.trace = trace
+
+    def run(self) -> Generator[Event, Any, SiegeReport]:
+        """Replay the whole trace; returns a :class:`SiegeReport`."""
+        report = SiegeReport(dataset_mb=-1.0, started_at=self.sim.now)
+        origin = self.sim.now
+        in_flight = []
+
+        def one(sim: Simulator, size_mb: float) -> Generator[Event, Any, None]:
+            client = self.clients.next_client()
+            started = sim.now
+            try:
+                response = yield sim.process(
+                    self.switch.serve(web_request(client, size_mb))
+                )
+            except SODAError:
+                report.failures += 1
+                return
+            elapsed = sim.now - started
+            report.overall.record(sim.now, elapsed)
+            report.node_monitor(response.node_name).record(sim.now, elapsed)
+
+        for offset, size_mb in self.trace.arrivals:
+            gap = origin + offset - self.sim.now
+            if gap > 0:
+                yield self.sim.timeout(gap)
+            in_flight.append(self.sim.process(one(self.sim, size_mb)))
+        for proc in in_flight:
+            yield proc
+        report.finished_at = self.sim.now
+        return report

@@ -1,0 +1,34 @@
+"""Shared fixtures for core-layer tests."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.auth import Credentials
+from repro.image.profiles import paper_profiles
+
+
+@pytest.fixture
+def testbed():
+    """The paper testbed with all four images published and one ASP."""
+    tb = build_paper_testbed(seed=42)
+    repo = tb.add_repository()
+    for image in paper_profiles().values():
+        repo.publish(image)
+    tb.agent.register_asp("acme", "supersecret")
+    tb.repo = repo
+    tb.creds = Credentials("acme", "supersecret")
+    return tb
+
+
+@pytest.fixture
+def requirement():
+    return ResourceRequirement(n=3, machine=MachineConfig())
+
+
+def create_service(tb, name="web", image="web-content", n=3, policy=None):
+    req = ResourceRequirement(n=n, machine=MachineConfig())
+    reply = tb.run(
+        tb.agent.service_creation(tb.creds, name, tb.repo, image, req, policy=policy),
+        name=f"create:{name}",
+    )
+    return reply, tb.master.get_service(name)

@@ -1,0 +1,123 @@
+"""Unit tests for the Master's allocation algorithm."""
+
+import pytest
+
+from repro.core.allocation import (
+    PlacementStrategy,
+    SLOWDOWN_INFLATION,
+    inflated_unit_vector,
+    plan_allocation,
+)
+from repro.core.errors import AdmissionError
+from repro.core.requirements import MachineConfig, ResourceRequirement
+from repro.host.reservation import ResourceVector
+
+
+def req(n=3):
+    return ResourceRequirement(n=n, machine=MachineConfig())
+
+
+def big_host(name, cpu=2600.0, mem=1748.0, disk=60000.0, bw=100.0):
+    return (name, ResourceVector(cpu, mem, disk, bw))
+
+
+def test_inflation_factor_matches_footnote2():
+    assert SLOWDOWN_INFLATION == 1.5
+
+
+def test_inflated_unit_vector_touches_cpu_and_bw_only():
+    unit = inflated_unit_vector(req())
+    m = MachineConfig()
+    assert unit.cpu_mhz == pytest.approx(m.cpu_mhz * 1.5)
+    assert unit.bw_mbps == pytest.approx(m.bw_mbps * 1.5)
+    assert unit.mem_mb == m.mem_mb
+    assert unit.disk_mb == m.disk_mb
+    with pytest.raises(ValueError):
+        inflated_unit_vector(req(), inflation=0.9)
+
+
+def test_first_fit_merges_units_on_one_host():
+    plan = plan_allocation(req(3), [big_host("seattle"), big_host("tacoma")])
+    assert plan.n_nodes == 1
+    assert plan.assignments[0].host_name == "seattle"
+    assert plan.assignments[0].units == 3
+    assert plan.total_units == 3
+
+
+def test_spill_to_second_host_when_first_is_partly_used():
+    # seattle can fit only 2 inflated units of CPU (2 * 768 = 1536).
+    seattle = big_host("seattle", cpu=1600.0)
+    tacoma = big_host("tacoma")
+    plan = plan_allocation(req(3), [seattle, tacoma])
+    assert plan.n_nodes == 2
+    assert plan.assignments[0] == plan.assignments[0].__class__("seattle", 2)
+    assert plan.assignments[1].host_name == "tacoma"
+    assert plan.assignments[1].units == 1
+
+
+def test_node_vector_has_no_aggregation_discount():
+    plan = plan_allocation(req(3), [big_host("seattle")])
+    node_vec = plan.node_vector(plan.assignments[0])
+    assert node_vec.mem_mb == pytest.approx(3 * 256.0)
+    assert node_vec.cpu_mhz == pytest.approx(3 * 512.0 * 1.5)
+
+
+def test_admission_failure_reported():
+    tiny = ("tiny", ResourceVector(500.0, 128.0, 500.0, 5.0))
+    with pytest.raises(AdmissionError, match="placed 0/1"):
+        plan_allocation(req(1), [tiny])
+
+
+def test_admission_counts_partial_placement():
+    one_unit = ("host", ResourceVector(800.0, 300.0, 2000.0, 20.0))
+    with pytest.raises(AdmissionError, match="placed 1/2"):
+        plan_allocation(req(2), [one_unit])
+
+
+def test_memory_can_be_the_binding_dimension():
+    # Plenty of CPU but room for only one 256 MB unit.
+    host = ("host", ResourceVector(10000.0, 400.0, 60000.0, 1000.0))
+    plan = plan_allocation(req(1), [host])
+    assert plan.total_units == 1
+    with pytest.raises(AdmissionError):
+        plan_allocation(req(2), [host])
+
+
+def test_best_fit_packs_tightest_host():
+    small = ("small", ResourceVector(800.0, 300.0, 2000.0, 20.0))  # fits 1
+    large = big_host("large")
+    plan = plan_allocation(
+        req(1), [large, small], strategy=PlacementStrategy.BEST_FIT
+    )
+    assert plan.assignments[0].host_name == "small"
+
+
+def test_worst_fit_spreads_to_roomiest_host():
+    small = ("small", ResourceVector(800.0, 300.0, 2000.0, 20.0))
+    large = big_host("large")
+    plan = plan_allocation(
+        req(1), [small, large], strategy=PlacementStrategy.WORST_FIT
+    )
+    assert plan.assignments[0].host_name == "large"
+
+
+def test_worst_fit_balances_two_equal_hosts():
+    hosts = [big_host("a"), big_host("b")]
+    plan = plan_allocation(req(2), hosts, strategy=PlacementStrategy.WORST_FIT)
+    assert plan.n_nodes == 2
+    assert all(a.units == 1 for a in plan.assignments)
+
+
+def test_duplicate_host_reports_rejected():
+    with pytest.raises(ValueError):
+        plan_allocation(req(1), [big_host("x"), big_host("x")])
+
+
+def test_zero_inflation_lets_more_fit():
+    host = ("host", ResourceVector(1100.0, 600.0, 3000.0, 30.0))
+    # With 1.5x inflation a unit needs 768 MHz -> only 1 fits.
+    with pytest.raises(AdmissionError):
+        plan_allocation(req(2), [host])
+    # Without inflation two 512 MHz units fit.
+    plan = plan_allocation(req(2), [host], inflation=1.0)
+    assert plan.total_units == 2

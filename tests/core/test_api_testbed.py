@@ -1,0 +1,139 @@
+"""Tests for the HUPTestbed facade and switch node management."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement
+from repro.core.api import HUPTestbed, build_paper_testbed
+from repro.core.node import ServiceUnavailableError
+from repro.host.machine import make_seattle, make_tacoma
+from repro.net.ip import IPAddressPool
+from repro.sim.kernel import SimulationError
+from tests.core.conftest import create_service
+
+
+def test_paper_testbed_layout():
+    tb = build_paper_testbed(seed=1)
+    assert set(tb.hosts) == {"seattle", "tacoma"}
+    assert tb.master is not None and tb.agent is not None
+    assert tb.lan.bandwidth_mbps == 100.0
+    pools = [d.ip_pool for d in tb.daemons.values()]
+    assert pools[0].range()[1] < pools[1].range()[0] or pools[1].range()[1] < pools[0].range()[0]
+
+
+def test_add_host_after_finalize_rejected():
+    tb = build_paper_testbed()
+    with pytest.raises(RuntimeError, match="finalize"):
+        tb.add_host(make_seattle(tb.sim))
+
+
+def test_double_finalize_rejected():
+    tb = HUPTestbed()
+    tb.add_host(make_seattle(tb.sim))
+    tb.finalize()
+    with pytest.raises(RuntimeError, match="already"):
+        tb.finalize()
+
+
+def test_duplicate_host_rejected():
+    tb = HUPTestbed()
+    tb.add_host(make_seattle(tb.sim))
+    with pytest.raises(ValueError, match="already added"):
+        tb.add_host(make_seattle(tb.sim))
+
+
+def test_overlapping_pools_rejected_at_finalize():
+    tb = HUPTestbed()
+    tb.add_host(make_seattle(tb.sim), ip_pool=IPAddressPool("10.0.0.1", 8, "seattle"))
+    tb.add_host(make_tacoma(tb.sim), ip_pool=IPAddressPool("10.0.0.4", 8, "tacoma"))
+    with pytest.raises(ValueError, match="overlap"):
+        tb.finalize()
+
+
+def test_duplicate_repository_and_client_rejected():
+    tb = build_paper_testbed()
+    tb.add_repository("r")
+    with pytest.raises(ValueError):
+        tb.add_repository("r")
+    tb.add_client("c")
+    with pytest.raises(ValueError):
+        tb.add_client("c")
+
+
+def test_run_detects_deadlock():
+    tb = build_paper_testbed()
+
+    def stuck(sim):
+        yield sim.event()
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        tb.run(stuck(tb.sim))
+
+
+def test_proxy_mode_testbed_serves(testbed):
+    proxy_tb = build_paper_testbed(seed=9, proxy_mode=True)
+    repo = proxy_tb.add_repository()
+    from repro.image.profiles import make_s1_web_content
+
+    repo.publish(make_s1_web_content())
+    proxy_tb.agent.register_asp("acme", "supersecret")
+    from repro.core.auth import Credentials
+
+    creds = Credentials("acme", "supersecret")
+    requirement = ResourceRequirement(n=1, machine=MachineConfig())
+    proxy_tb.run(
+        proxy_tb.agent.service_creation(creds, "web", repo, "web-content", requirement)
+    )
+    record = proxy_tb.master.get_service("web")
+    # Proxy-mode endpoints share the host IP with per-node ports.
+    assert record.nodes[0].endpoint.port >= 20000
+    client = proxy_tb.add_client("c")
+    from tests.core.test_serving import make_request
+
+    response = proxy_tb.run(record.switch.serve(make_request(client)))
+    assert response.elapsed > 0
+
+
+# ------------------------------------------------------ switch management
+def test_switch_remove_home_node_guarded(testbed):
+    create_service(testbed, name="honeypot", image="honeypot", n=1)
+    _, record = create_service(testbed, name="web", n=3)
+    with pytest.raises(ValueError, match="home node"):
+        record.switch.remove_node(record.switch.home_node)
+
+
+def test_switch_add_duplicate_node_rejected(testbed):
+    _, record = create_service(testbed, name="web", n=1)
+    with pytest.raises(ValueError, match="already"):
+        record.switch.add_node(record.nodes[0])
+
+
+def test_switch_remove_unknown_node_rejected(testbed):
+    _, honeypot = create_service(testbed, name="honeypot", image="honeypot", n=1)
+    _, record = create_service(testbed, name="web", n=1)
+    with pytest.raises(ValueError, match="not behind"):
+        record.switch.remove_node(honeypot.nodes[0])
+
+
+def test_switch_weights_follow_config(testbed):
+    create_service(testbed, name="honeypot", image="honeypot", n=1)
+    _, record = create_service(testbed, name="web", n=3)
+    weights = record.switch.weights()
+    assert sorted(weights.values()) == [1, 2]
+
+
+def test_serve_after_home_teardown_fails(testbed):
+    _, record = create_service(testbed, name="web", n=1)
+    testbed.run(testbed.agent.service_teardown(testbed.creds, "web"))
+    from tests.core.test_serving import make_request
+
+    client = testbed.add_client("c")
+    with pytest.raises(ServiceUnavailableError):
+        testbed.run(record.switch.serve(make_request(client)))
+
+
+def test_switch_needs_nodes(testbed):
+    from repro.core.config import ServiceConfigFile
+    from repro.core.switch import ServiceSwitch
+
+    with pytest.raises(ValueError, match="at least one"):
+        ServiceSwitch(testbed.sim, "x", testbed.lan, [], ServiceConfigFile("x"))

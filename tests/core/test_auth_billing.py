@@ -1,0 +1,117 @@
+"""Unit tests for ASP authentication and the billing ledger."""
+
+import pytest
+
+from repro.core.auth import ASPRegistry, Credentials
+from repro.core.billing import BillingLedger
+from repro.core.errors import AuthenticationError
+
+HOUR = 3600.0
+
+
+# ------------------------------------------------------------------ auth
+def test_register_and_authenticate():
+    reg = ASPRegistry()
+    reg.register("bio-institute", "genomes-rock", contact="ops@bio.example")
+    account = reg.authenticate(Credentials("bio-institute", "genomes-rock"))
+    assert account.name == "bio-institute"
+    assert "bio-institute" in reg
+    assert len(reg) == 1
+
+
+def test_wrong_secret_rejected():
+    reg = ASPRegistry()
+    reg.register("asp", "correct-secret")
+    with pytest.raises(AuthenticationError, match="bad secret"):
+        reg.authenticate(Credentials("asp", "wrong-secret"))
+
+
+def test_unknown_asp_rejected():
+    with pytest.raises(AuthenticationError, match="unknown"):
+        ASPRegistry().authenticate(Credentials("ghost", "whatever1"))
+
+
+def test_secrets_stored_hashed():
+    reg = ASPRegistry()
+    reg.register("asp", "plain-secret")
+    account = reg.authenticate(Credentials("asp", "plain-secret"))
+    assert "plain-secret" not in account.secret_hash
+
+
+def test_registration_validation():
+    reg = ASPRegistry()
+    with pytest.raises(ValueError):
+        reg.register("", "longenough")
+    with pytest.raises(ValueError):
+        reg.register("asp", "short")
+    reg.register("asp", "longenough")
+    with pytest.raises(ValueError):
+        reg.register("asp", "longenough")
+
+
+def test_disable_enable():
+    reg = ASPRegistry()
+    reg.register("asp", "longenough")
+    reg.disable("asp")
+    with pytest.raises(AuthenticationError, match="disabled"):
+        reg.authenticate(Credentials("asp", "longenough"))
+    reg.enable("asp")
+    reg.authenticate(Credentials("asp", "longenough"))
+
+
+# ---------------------------------------------------------------- billing
+def test_billing_accrues_machine_hours():
+    ledger = BillingLedger(rate_per_m_hour=2.0)
+    ledger.service_started("web", "asp", now=0.0, m_units=3)
+    assert ledger.machine_hours("web", now=2 * HOUR) == pytest.approx(6.0)
+    assert ledger.invoice("asp", now=2 * HOUR) == pytest.approx(12.0)
+
+
+def test_billing_stop_freezes_accrual():
+    ledger = BillingLedger()
+    ledger.service_started("web", "asp", now=0.0, m_units=2)
+    ledger.service_stopped("web", now=HOUR)
+    assert ledger.machine_hours("web", now=10 * HOUR) == pytest.approx(2.0)
+    assert ledger.n_open == 0
+
+
+def test_billing_resize_changes_rate():
+    ledger = BillingLedger()
+    ledger.service_started("web", "asp", now=0.0, m_units=1)
+    ledger.service_resized("web", now=HOUR, m_units=4)
+    ledger.service_stopped("web", now=2 * HOUR)
+    # 1 unit-hour + 4 unit-hours.
+    assert ledger.machine_hours("web", now=2 * HOUR) == pytest.approx(5.0)
+
+
+def test_billing_invoice_sums_services_per_asp():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started("a", "asp", now=0.0, m_units=1)
+    ledger.service_started("b", "asp", now=0.0, m_units=2)
+    ledger.service_started("c", "other", now=0.0, m_units=5)
+    assert ledger.invoice("asp", now=HOUR) == pytest.approx(3.0)
+    assert ledger.invoice("other", now=HOUR) == pytest.approx(5.0)
+
+
+def test_billing_validation():
+    ledger = BillingLedger()
+    with pytest.raises(ValueError):
+        BillingLedger(rate_per_m_hour=-1)
+    with pytest.raises(ValueError):
+        ledger.service_stopped("ghost", now=0.0)
+    with pytest.raises(ValueError):
+        ledger.service_resized("ghost", now=0.0, m_units=1)
+    ledger.service_started("web", "asp", now=0.0, m_units=1)
+    with pytest.raises(ValueError):
+        ledger.service_started("web", "asp", now=0.0, m_units=1)
+    with pytest.raises(ValueError):
+        ledger.service_started("other", "asp", now=0.0, m_units=0)
+
+
+def test_billing_segments_exposed():
+    ledger = BillingLedger()
+    ledger.service_started("web", "asp", now=0.0, m_units=1)
+    ledger.service_stopped("web", now=HOUR)
+    segments = ledger.segments
+    assert len(segments) == 1
+    assert segments[0].hours == pytest.approx(1.0)

@@ -1,0 +1,84 @@
+"""Unit tests for the service configuration file (Table 3)."""
+
+import pytest
+
+from repro.core.config import BackEndDirective, ServiceConfigFile
+
+
+def table3_config():
+    """The exact sample of paper Table 3."""
+    config = ServiceConfigFile("web-content")
+    config.add_backend("128.10.9.125", 8080, 2)
+    config.add_backend("128.10.9.126", 8080, 1)
+    return config
+
+
+def test_directive_validation():
+    with pytest.raises(ValueError):
+        BackEndDirective("1.2.3.4", 0, 1)
+    with pytest.raises(ValueError):
+        BackEndDirective("1.2.3.4", 8080, 0)
+
+
+def test_table3_sample_contents():
+    config = table3_config()
+    assert len(config) == 2
+    assert config.total_capacity == 3  # <3, M> provided as 2M + 1M
+    backends = config.backends
+    assert backends[0] == BackEndDirective("128.10.9.125", 8080, 2)
+    assert backends[1] == BackEndDirective("128.10.9.126", 8080, 1)
+
+
+def test_render_matches_table3_shape():
+    text = table3_config().render()
+    lines = text.splitlines()
+    assert lines[1] == "BackEnd 128.10.9.125 8080 2"
+    assert lines[2] == "BackEnd 128.10.9.126 8080 1"
+
+
+def test_parse_roundtrip():
+    config = table3_config()
+    parsed = ServiceConfigFile.parse(config.render())
+    assert parsed.service_name == "web-content"
+    assert parsed.backends == config.backends
+
+
+def test_parse_rejects_malformed():
+    with pytest.raises(ValueError, match="malformed"):
+        ServiceConfigFile.parse("BackEnd 1.2.3.4 8080")
+    with pytest.raises(ValueError):
+        ServiceConfigFile.parse("FrontEnd 1.2.3.4 8080 1")
+
+
+def test_parse_skips_blank_and_comments():
+    text = "# a comment\n\nBackEnd 1.2.3.4 80 1\n"
+    parsed = ServiceConfigFile.parse(text)
+    assert len(parsed) == 1
+
+
+def test_duplicate_backend_rejected():
+    config = table3_config()
+    with pytest.raises(ValueError):
+        config.add_backend("128.10.9.125", 8080, 5)
+
+
+def test_remove_backend():
+    config = table3_config()
+    config.remove_backend("128.10.9.126", 8080)
+    assert len(config) == 1
+    with pytest.raises(KeyError):
+        config.remove_backend("128.10.9.126", 8080)
+
+
+def test_set_capacity():
+    config = table3_config()
+    config.set_capacity("128.10.9.126", 8080, 4)
+    assert config.total_capacity == 6
+    with pytest.raises(KeyError):
+        config.set_capacity("9.9.9.9", 8080, 1)
+
+
+def test_backends_returns_copy():
+    config = table3_config()
+    config.backends.clear()
+    assert len(config) == 2

@@ -1,0 +1,102 @@
+"""Integration tests for HUP federation (§3.5 extension)."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement
+from repro.core.agent import SODAAgent
+from repro.core.api import HUPTestbed
+from repro.core.auth import Credentials
+from repro.core.daemon import SODADaemon
+from repro.core.errors import AdmissionError, ServiceNotFoundError
+from repro.core.federation import FederatedHUP
+from repro.core.master import SODAMaster
+from repro.host.machine import Host, make_seattle, make_tacoma
+from repro.image.profiles import make_s1_web_content
+from repro.net.ip import IPAddressPool
+from repro.sim.kernel import Simulator
+
+
+CREDS = Credentials("acme", "supersecret")
+
+
+def build_federation():
+    """Two local HUPs sharing one simulated world and LAN."""
+    tb = HUPTestbed(seed=3)
+    # HUP "west": seattle only.
+    tb.add_host(make_seattle(tb.sim))
+    tb.finalize()
+    west_agent = tb.agent
+    # HUP "east": tacoma, its own Master/Agent over the same LAN.
+    tacoma = make_tacoma(tb.sim)
+    tacoma.attach(tb.lan)
+    east_daemon = SODADaemon(
+        tb.sim, tacoma, tb.lan,
+        IPAddressPool("128.10.99.1", size=16, owner="tacoma"),
+    )
+    east_master = SODAMaster(tb.sim, tb.lan, [east_daemon])
+    east_agent = SODAAgent(tb.sim, east_master)
+    for agent in (west_agent, east_agent):
+        agent.register_asp("acme", "supersecret")
+    federation = FederatedHUP({"west": west_agent, "east": east_agent})
+    repo = tb.add_repository()
+    repo.publish(make_s1_web_content())
+    return tb, federation, repo
+
+
+def req(n):
+    return ResourceRequirement(n=n, machine=MachineConfig())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FederatedHUP({})
+
+
+def test_creation_routes_to_first_member_with_capacity():
+    tb, federation, repo = build_federation()
+    reply = tb.run(
+        federation.service_creation(CREDS, "web", repo, "web-content", req(1))
+    )
+    assert federation.locate("web") == "west"
+    assert federation.total_services() == 1
+    assert reply.service_name == "web"
+
+
+def test_creation_spills_to_second_member():
+    tb, federation, repo = build_federation()
+    # Fill west (seattle fits 3 inflated units; ask 3).
+    tb.run(federation.service_creation(CREDS, "big", repo, "web-content", req(3)))
+    assert federation.locate("big") == "west"
+    # Next service cannot fit on west; goes east.
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    assert federation.locate("web") == "east"
+
+
+def test_creation_fails_when_no_member_fits():
+    tb, federation, repo = build_federation()
+    with pytest.raises(AdmissionError, match="no member"):
+        tb.run(federation.service_creation(CREDS, "huge", repo, "web-content", req(40)))
+    assert federation.total_services() == 0
+
+
+def test_teardown_routed_to_owner_hup():
+    tb, federation, repo = build_federation()
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    tb.run(federation.service_teardown(CREDS, "web"))
+    assert federation.total_services() == 0
+    with pytest.raises(ServiceNotFoundError):
+        federation.locate("web")
+
+
+def test_resize_routed_to_owner_hup():
+    tb, federation, repo = build_federation()
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    record = tb.run(federation.service_resizing(CREDS, "web", repo, 2))
+    assert record.total_units == 2
+
+
+def test_duplicate_name_across_federation_rejected():
+    tb, federation, repo = build_federation()
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    with pytest.raises(AdmissionError, match="already placed"):
+        tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))

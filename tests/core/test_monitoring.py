@@ -1,0 +1,103 @@
+"""Tests for the monitoring subsystem."""
+
+import pytest
+
+from repro.core.auth import Credentials
+from repro.core.errors import AuthenticationError
+from repro.core.monitoring import HUPMonitor, UtilisationSampler
+from repro.guestos.syscall import SyscallMix
+from repro.core.node import Request
+from tests.core.conftest import create_service
+
+
+def make_request(client):
+    return Request(client=client, response_mb=0.1, mix=SyscallMix(1.0, 30))
+
+
+def test_service_status_snapshot(testbed):
+    create_service(testbed, name="honeypot", image="honeypot", n=1)
+    _, record = create_service(testbed, name="web", n=3)
+    monitor = HUPMonitor(testbed.master)
+    status = monitor.service_status("web")
+    assert status.service == "web"
+    assert status.state == "running"
+    assert status.total_units == 3
+    assert len(status.nodes) == 2
+    assert status.healthy_nodes == 2
+    assert not status.degraded
+    assert {n.host for n in status.nodes} == {"seattle", "tacoma"}
+
+
+def test_status_reflects_served_requests(testbed):
+    _, record = create_service(testbed, name="web", n=1)
+    client = testbed.add_client("c1")
+    for _ in range(3):
+        testbed.run(record.switch.serve(make_request(client)))
+    status = HUPMonitor(testbed.master).service_status("web")
+    assert status.switch_dispatched == 3
+    assert status.nodes[0].served == 3
+    assert status.nodes[0].mean_response_s > 0
+
+
+def test_status_detects_crash_and_compromise(testbed):
+    _, record = create_service(testbed, name="honeypot", image="honeypot", n=1)
+    node = record.nodes[0]
+    node.vm.exploit()
+    status = HUPMonitor(testbed.master).service_status("honeypot")
+    assert status.nodes[0].compromised
+    assert status.degraded
+    node.vm.crash()
+    status = HUPMonitor(testbed.master).service_status("honeypot")
+    assert status.nodes[0].vm_state == "crashed"
+    assert status.healthy_nodes == 0
+
+
+def test_platform_status_counts_nodes_and_utilisation(testbed):
+    create_service(testbed, name="honeypot", image="honeypot", n=1)
+    create_service(testbed, name="web", n=3)
+    statuses = {s.host: s for s in HUPMonitor(testbed.master).platform_status()}
+    assert statuses["seattle"].n_nodes == 2
+    assert statuses["tacoma"].n_nodes == 1
+    assert statuses["seattle"].cpu_utilisation > statuses["tacoma"].cpu_utilisation
+    assert statuses["seattle"].free_ram_mb < 2048
+
+
+def test_agent_status_api_enforces_ownership(testbed):
+    create_service(testbed, name="web", n=1)
+    status = testbed.agent.service_status(testbed.creds, "web")
+    assert status.service == "web"
+    testbed.agent.register_asp("rival", "rivalsecret")
+    with pytest.raises(AuthenticationError, match="does not own"):
+        testbed.agent.service_status(Credentials("rival", "rivalsecret"), "web")
+
+
+def test_utilisation_sampler_tracks_reservation_changes(testbed):
+    sampler = UtilisationSampler(testbed.sim, testbed.master, period_s=0.5)
+    proc = sampler.start(duration_s=100.0)
+
+    def scenario(sim):
+        yield sim.timeout(10.0)  # idle phase
+        # create <3, M> -> seattle CPU jumps to ~0.886 (3*768/2600).
+        from repro.core import MachineConfig, ResourceRequirement
+
+        req = ResourceRequirement(n=3, machine=MachineConfig())
+        yield from testbed.agent.service_creation(
+            testbed.creds, "web", testbed.repo, "web-content", req
+        )
+        yield sim.timeout(40.0)
+
+    testbed.run(scenario(testbed.sim))
+    testbed.sim.run_until_process(proc)
+    idle = sampler.mean_cpu("seattle", 0.0, 9.0)
+    busy = sampler.mean_cpu("seattle", 60.0, 90.0)
+    assert idle == 0.0
+    assert busy == pytest.approx(3 * 512 * 1.5 / 2600, rel=0.01)
+
+
+def test_sampler_validation(testbed):
+    with pytest.raises(ValueError):
+        UtilisationSampler(testbed.sim, testbed.master, period_s=0)
+    sampler = UtilisationSampler(testbed.sim, testbed.master)
+    sampler.start(5.0)
+    with pytest.raises(RuntimeError):
+        sampler.start(5.0)

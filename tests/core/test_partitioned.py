@@ -1,0 +1,131 @@
+"""Tests for partitionable services (§3.5 extension)."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement
+from repro.core.errors import InvalidRequestError
+from repro.core.node import Request, ServiceUnavailableError
+from repro.guestos.rootfs import RootFilesystem
+from repro.guestos.services import default_registry
+from repro.guestos.syscall import SyscallMix
+from repro.image.image import ServiceComponent, ServiceImage
+
+
+def shop_image():
+    """A two-component on-line shop: web frontend + database backend."""
+    registry = default_registry()
+    rootfs = RootFilesystem.build(
+        "shop-rootfs", base_mb=15.0,
+        services=["syslog", "network", "httpd", "mysqld", "sshd", "random"],
+        registry=registry,
+    )
+    front = ServiceComponent("frontend", "httpd", ("httpd", "sshd"), weight=2.0)
+    back = ServiceComponent("database", "mysqld", ("mysqld", "sshd"), weight=1.0)
+    return ServiceImage(
+        name="shop", rootfs=rootfs, required_services=("httpd", "mysqld", "sshd"),
+        entrypoint="httpd", port=8080, components=(front, back),
+    )
+
+
+def create_shop(tb, n=3):
+    tb.repo.publish(shop_image())
+    requirement = ResourceRequirement(n=n, machine=MachineConfig())
+    tb.run(
+        tb.master.create_partitioned_service(
+            "shop", "acme", tb.repo, "shop", requirement
+        )
+    )
+    return tb.master.get_service("shop")
+
+
+def component_request(client, component):
+    return Request(
+        client=client, response_mb=0.1, mix=SyscallMix(1.0, 30), component=component
+    )
+
+
+def test_one_node_per_component_weighted(testbed):
+    record = create_shop(testbed, n=3)
+    by_component = {n.component: n for n in record.nodes}
+    assert set(by_component) == {"frontend", "database"}
+    # Weight 2:1 over 3 units -> 2M frontend, 1M database.
+    assert by_component["frontend"].units == 2
+    assert by_component["database"].units == 1
+
+
+def test_component_nodes_boot_only_their_services(testbed):
+    record = create_shop(testbed)
+    front = next(n for n in record.nodes if n.component == "frontend")
+    back = next(n for n in record.nodes if n.component == "database")
+    assert "httpd" in front.vm.rootfs.services
+    assert "mysqld" not in front.vm.rootfs.services
+    assert "mysqld" in back.vm.rootfs.services
+    assert "httpd" not in back.vm.rootfs.services
+    # Each runs its own entrypoint.
+    assert front.vm.processes.find_by_command("httpd")
+    assert back.vm.processes.find_by_command("mysqld")
+
+
+def test_switch_routes_by_component(testbed):
+    record = create_shop(testbed)
+    client = testbed.add_client("c1")
+    for component in ("frontend", "database"):
+        response = testbed.run(
+            record.switch.serve(component_request(client, component))
+        )
+        node = next(n for n in record.nodes if n.name == response.node_name)
+        assert node.component == component
+
+
+def test_untagged_requests_use_any_node(testbed):
+    record = create_shop(testbed)
+    client = testbed.add_client("c1")
+    request = Request(client=client, response_mb=0.1, mix=SyscallMix(1.0, 30))
+    response = testbed.run(record.switch.serve(request))
+    assert response.elapsed > 0
+
+
+def test_crashed_component_unavailable_other_survives(testbed):
+    record = create_shop(testbed)
+    client = testbed.add_client("c1")
+    back = next(n for n in record.nodes if n.component == "database")
+    back.vm.crash()
+    with pytest.raises(ServiceUnavailableError, match="database"):
+        testbed.run(record.switch.serve(component_request(client, "database")))
+    response = testbed.run(record.switch.serve(component_request(client, "frontend")))
+    assert response.elapsed > 0
+
+
+def test_partitioned_requires_component_image(testbed):
+    requirement = ResourceRequirement(n=2, machine=MachineConfig())
+    with pytest.raises(InvalidRequestError, match="no components"):
+        testbed.run(
+            testbed.master.create_partitioned_service(
+                "web2", "acme", testbed.repo, "web-content", requirement
+            )
+        )
+
+
+def test_n_must_cover_components(testbed):
+    testbed.repo.publish(shop_image())
+    requirement = ResourceRequirement(n=1, machine=MachineConfig())
+    with pytest.raises(InvalidRequestError, match="at least one"):
+        testbed.run(
+            testbed.master.create_partitioned_service(
+                "shop", "acme", testbed.repo, "shop", requirement
+            )
+        )
+    assert "shop" not in testbed.master.services
+
+
+def test_partitioned_teardown_releases_all(testbed):
+    create_shop(testbed)
+    testbed.master.teardown_service("shop")
+    for host in testbed.hosts.values():
+        assert host.reservations.n_live == 0
+
+
+def test_config_file_lists_component_nodes(testbed):
+    record = create_shop(testbed, n=3)
+    assert record.switch.config.total_capacity == 3
+    assert len(record.switch.config) == 2

@@ -1,0 +1,129 @@
+"""A long-horizon platform lifecycle test (mini chaos suite).
+
+Runs a multi-service HUP through creations, load, an attack campaign,
+watchdog recovery, autoscaling, resizing and teardowns over one long
+simulated session, asserting the platform invariants after every act:
+no resource leaks, disjoint IPs, billing consistent with capacity, and
+isolation never breached.
+"""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.auth import Credentials
+from repro.core.monitoring import HUPMonitor
+from repro.core.recovery import NodeWatchdog
+from repro.image.profiles import paper_profiles
+from repro.sim.rng import RandomStreams
+from repro.workload.attack import AttackCampaign
+from repro.workload.clients import ClientPool
+from repro.workload.siege import Siege
+
+
+def check_invariants(tb):
+    """Platform-wide invariants that must hold at any quiescent point."""
+    # 1. Reservation books match live services exactly.
+    for host in tb.hosts.values():
+        reserved = host.reservations.reserved
+        assert reserved.fits_within(host.reservations.capacity)
+    expected_nodes = sum(
+        len(r.nodes) for r in tb.master.services.values()
+    )
+    live_reservations = sum(h.reservations.n_live for h in tb.hosts.values())
+    assert live_reservations == expected_nodes
+    # 2. Every allocated IP belongs to exactly one live node.
+    for name, daemon in tb.daemons.items():
+        node_ips = {
+            n.source_ip
+            for r in tb.master.services.values()
+            for n in r.nodes
+            if n.host.name == name
+        }
+        assert daemon.ip_pool.n_allocated == len(node_ips)
+    # 3. Billing is open for exactly the hosted services.
+    assert tb.agent.ledger.n_open == len(tb.master.services)
+
+
+def test_platform_lifecycle_end_to_end():
+    tb = build_paper_testbed(seed=77)
+    repo = tb.add_repository()
+    for image in paper_profiles().values():
+        repo.publish(image)
+    tb.agent.register_asp("acme", "supersecret")
+    tb.agent.register_asp("rival-corp", "rivalsecret")
+    acme = Credentials("acme", "supersecret")
+    rival = Credentials("rival-corp", "rivalsecret")
+
+    def create(creds, name, image, n):
+        req = ResourceRequirement(n=n, machine=MachineConfig())
+        tb.run(tb.agent.service_creation(creds, name, repo, image, req))
+        return tb.master.get_service(name)
+
+    # Act 1: two ASPs deploy three services.
+    honeypot = create(acme, "honeypot", "honeypot", 1)
+    web = create(acme, "web", "web-content", 2)
+    rival_web = create(rival, "rival-shop", "web-content", 1)
+    check_invariants(tb)
+    assert len(tb.master.services) == 3
+
+    # Act 2: load on both web services while the honeypot is attacked,
+    # with a watchdog standing by.
+    clients = ClientPool(tb.lan, n=4)
+    attacker = tb.add_client("attacker")
+    watchdog = NodeWatchdog(tb.sim, honeypot, poll_s=1.0)
+    watch_proc = tb.spawn(watchdog.watch(80.0))
+    campaign = AttackCampaign(
+        tb.sim, honeypot.switch, attacker,
+        siblings=[n for n in web.nodes] + [n for n in rival_web.nodes],
+    )
+    attack_proc = tb.spawn(campaign.run(waves=4))
+    siege_acme = Siege(tb.sim, web.switch, clients, RandomStreams(1), 0.25)
+    siege_rival = Siege(tb.sim, rival_web.switch, clients, RandomStreams(2), 0.25)
+    rival_proc = tb.spawn(siege_rival.run_open_loop(rate_rps=4.0, duration_s=60.0))
+    acme_report = tb.run(siege_acme.run_open_loop(rate_rps=6.0, duration_s=60.0))
+    rival_report = tb.sim.run_until_process(rival_proc)
+    outcome = tb.sim.run_until_process(attack_proc)
+    tb.sim.run_until_process(watch_proc)
+
+    assert outcome.contained
+    assert acme_report.failures == 0
+    assert rival_report.failures == 0
+    assert honeypot.nodes[0].vm.is_running  # attack reboots + watchdog
+    check_invariants(tb)
+
+    # Act 3: rival leaves the platform; acme grows into the freed room
+    # (while rival was there, tacoma had no spare memory for a unit).
+    tb.run(tb.agent.service_teardown(rival, "rival-shop"))
+    check_invariants(tb)
+    tb.run(tb.agent.service_resizing(acme, "web", repo, 3))
+    assert tb.master.get_service("web").total_units == 3
+    check_invariants(tb)
+    assert len(tb.master.services) == 2
+
+    # Act 4: monitoring reflects reality; ownership still enforced.
+    monitor = HUPMonitor(tb.master)
+    status = monitor.service_status("web")
+    assert status.total_units == 3
+    assert status.healthy_nodes == len(status.nodes)
+    platform = {s.host: s for s in monitor.platform_status()}
+    assert platform["seattle"].n_nodes + platform["tacoma"].n_nodes == sum(
+        len(r.nodes) for r in tb.master.services.values()
+    )
+
+    # Act 5: full teardown; the platform returns to pristine state.
+    tb.run(tb.agent.service_teardown(acme, "web"))
+    tb.run(tb.agent.service_teardown(acme, "honeypot"))
+    check_invariants(tb)
+    for host in tb.hosts.values():
+        assert host.reservations.n_live == 0
+        assert host.memory.allocated_mb == 0
+    for daemon in tb.daemons.values():
+        assert daemon.ip_pool.n_allocated == 0
+        assert daemon.networking.n_nodes == 0
+
+    # Billing: invoices reflect everything that ran, and are final.
+    acme_invoice = tb.agent.invoice(acme)
+    rival_invoice = tb.agent.invoice(rival)
+    assert acme_invoice > rival_invoice > 0
+    later = tb.agent.ledger.invoice("acme", tb.now + 3600.0)
+    assert later == pytest.approx(acme_invoice)

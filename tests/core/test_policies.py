@@ -1,0 +1,112 @@
+"""Unit tests for request switching policies.
+
+Policies only need objects with ``name`` and ``inflight`` attributes,
+so a light stand-in is used instead of full virtual service nodes.
+"""
+
+import pytest
+
+from repro.core.policies import (
+    CustomPolicy,
+    LeastConnectionsPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    WeightedRoundRobinPolicy,
+)
+from repro.sim.rng import RandomStreams
+
+
+class StubNode:
+    def __init__(self, name, inflight=0):
+        self.name = name
+        self.inflight = inflight
+
+    def __repr__(self):
+        return f"StubNode({self.name})"
+
+
+def counts_after(policy, nodes, weights, n):
+    counts = {node.name: 0 for node in nodes}
+    for _ in range(n):
+        counts[policy.choose(nodes, weights).name] += 1
+    return counts
+
+
+def test_wrr_ratio_matches_weights():
+    """The paper's §5 observation: 2:1 weights -> ~2:1 request counts."""
+    nodes = [StubNode("seattle"), StubNode("tacoma")]
+    counts = counts_after(
+        WeightedRoundRobinPolicy(), nodes, {"seattle": 2, "tacoma": 1}, 300
+    )
+    assert counts["seattle"] == 200
+    assert counts["tacoma"] == 100
+
+
+def test_wrr_is_smooth_not_bursty():
+    nodes = [StubNode("a"), StubNode("b")]
+    policy = WeightedRoundRobinPolicy()
+    sequence = [policy.choose(nodes, {"a": 2, "b": 1}).name for _ in range(6)]
+    # Smooth WRR interleaves: a b a a b a, never three a's in a row.
+    assert "".join(s[0] for s in sequence).count("aaa") == 0
+
+
+def test_wrr_defaults_unknown_weight_to_one():
+    nodes = [StubNode("a"), StubNode("b")]
+    counts = counts_after(WeightedRoundRobinPolicy(), nodes, {"a": 1}, 100)
+    assert counts["a"] == counts["b"] == 50
+
+
+def test_round_robin_cycles():
+    nodes = [StubNode("a"), StubNode("b"), StubNode("c")]
+    policy = RoundRobinPolicy()
+    sequence = [policy.choose(nodes, {}).name for _ in range(6)]
+    assert sequence == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_least_connections_prefers_idle():
+    nodes = [StubNode("busy", inflight=5), StubNode("idle", inflight=0)]
+    policy = LeastConnectionsPolicy()
+    assert policy.choose(nodes, {}).name == "idle"
+
+
+def test_least_connections_normalises_by_weight():
+    # busy has 4 in flight but weight 4 -> load 1; idle has 2 at weight 1 -> 2.
+    nodes = [StubNode("big", inflight=4), StubNode("small", inflight=2)]
+    policy = LeastConnectionsPolicy()
+    assert policy.choose(nodes, {"big": 4, "small": 1}).name == "big"
+
+
+def test_random_policy_weight_proportional():
+    nodes = [StubNode("a"), StubNode("b")]
+    policy = RandomPolicy(RandomStreams(seed=7))
+    counts = counts_after(policy, nodes, {"a": 3, "b": 1}, 4000)
+    assert counts["a"] / 4000 == pytest.approx(0.75, abs=0.03)
+
+
+def test_random_policy_deterministic_by_seed():
+    nodes = [StubNode("a"), StubNode("b")]
+    p1 = RandomPolicy(RandomStreams(seed=5))
+    p2 = RandomPolicy(RandomStreams(seed=5))
+    s1 = [p1.choose(nodes, {}).name for _ in range(50)]
+    s2 = [p2.choose(nodes, {}).name for _ in range(50)]
+    assert s1 == s2
+
+
+def test_custom_policy_wraps_callable():
+    nodes = [StubNode("a"), StubNode("b")]
+    policy = CustomPolicy(lambda cands, weights: cands[-1], name="pick-last")
+    assert policy.choose(nodes, {}).name == "b"
+    assert policy.name == "pick-last"
+    with pytest.raises(TypeError):
+        CustomPolicy("not-callable")
+
+
+def test_empty_candidates_rejected():
+    for policy in (
+        WeightedRoundRobinPolicy(),
+        RoundRobinPolicy(),
+        LeastConnectionsPolicy(),
+        RandomPolicy(),
+    ):
+        with pytest.raises(ValueError):
+            policy.choose([], {})

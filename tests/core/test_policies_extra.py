@@ -1,0 +1,96 @@
+"""Tests for the session-affinity and fastest-response policies."""
+
+import pytest
+
+from repro.core.policies import FastestResponsePolicy, SourceHashPolicy
+
+
+class StubNode:
+    def __init__(self, name, inflight=0):
+        self.name = name
+        self.inflight = inflight
+
+
+def nodes(n=3):
+    return [StubNode(f"n{i}") for i in range(n)]
+
+
+# -------------------------------------------------------------- source hash
+def test_source_hash_is_sticky():
+    policy = SourceHashPolicy()
+    candidates = nodes()
+    first = policy.choose_for(candidates, {}, client_key="alice")
+    for _ in range(10):
+        assert policy.choose_for(candidates, {}, client_key="alice") is first
+
+
+def test_source_hash_spreads_clients():
+    policy = SourceHashPolicy()
+    candidates = nodes(3)
+    chosen = {
+        policy.choose_for(candidates, {}, client_key=f"client-{i}").name
+        for i in range(100)
+    }
+    assert len(chosen) == 3  # all nodes receive some clients
+
+
+def test_source_hash_respects_weights():
+    policy = SourceHashPolicy()
+    candidates = nodes(2)
+    counts = {"n0": 0, "n1": 0}
+    for i in range(2000):
+        node = policy.choose_for(candidates, {"n0": 3, "n1": 1}, client_key=str(i))
+        counts[node.name] += 1
+    assert counts["n0"] / 2000 == pytest.approx(0.75, abs=0.05)
+
+
+def test_source_hash_stable_under_candidate_order():
+    policy = SourceHashPolicy()
+    a, b, c = nodes(3)
+    pick1 = policy.choose_for([a, b, c], {}, client_key="bob")
+    pick2 = policy.choose_for([c, a, b], {}, client_key="bob")
+    assert pick1 is pick2
+
+
+def test_source_hash_empty_rejected():
+    with pytest.raises(ValueError):
+        SourceHashPolicy().choose([], {})
+
+
+# ---------------------------------------------------------- fastest response
+def test_fastest_response_probes_unmeasured_first():
+    policy = FastestResponsePolicy()
+    candidates = nodes(2)
+    assert policy.choose(candidates, {}) is candidates[0]
+    policy.observe("n0", 0.1)
+    assert policy.choose(candidates, {}) is candidates[1]  # n1 unprobed
+
+
+def test_fastest_response_prefers_lowest_ewma():
+    policy = FastestResponsePolicy()
+    candidates = nodes(2)
+    policy.observe("n0", 0.5)
+    policy.observe("n1", 0.1)
+    assert policy.choose(candidates, {}).name == "n1"
+
+
+def test_fastest_response_adapts_to_degradation():
+    policy = FastestResponsePolicy(alpha=0.5)
+    candidates = nodes(2)
+    policy.observe("n0", 0.1)
+    policy.observe("n1", 0.2)
+    assert policy.choose(candidates, {}).name == "n0"
+    # n0 degrades badly; EWMA catches up after a few observations.
+    for _ in range(5):
+        policy.observe("n0", 2.0)
+    assert policy.choose(candidates, {}).name == "n1"
+
+
+def test_fastest_response_validation():
+    with pytest.raises(ValueError):
+        FastestResponsePolicy(alpha=0)
+    policy = FastestResponsePolicy()
+    with pytest.raises(ValueError):
+        policy.observe("x", -1)
+    with pytest.raises(ValueError):
+        policy.choose([], {})

@@ -1,0 +1,122 @@
+"""Tests for QoS/resource profiling — including closed-loop validation
+that a derived <n, M> actually meets its SLO when deployed."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.auth import Credentials
+from repro.core.profiling import (
+    GUEST_OS_FLOOR_MB,
+    InfeasibleSLOError,
+    ResourceProfiler,
+    ServiceLoadSpec,
+)
+from repro.image.profiles import make_s1_web_content
+from repro.sim.rng import RandomStreams
+from repro.workload.apps import web_request_mix
+from repro.workload.clients import ClientPool
+from repro.workload.siege import Siege
+
+
+def spec_for(dataset_mb=0.1, peak_rps=20.0, target_s=0.3):
+    # With Table 1's M (10 Mbps of bandwidth), one 0.1 MB response costs
+    # ~85 ms of transmit — the SLO must leave room above that.
+    return ServiceLoadSpec(
+        request_mix=web_request_mix(dataset_mb),
+        response_mb=dataset_mb,
+        peak_rps=peak_rps,
+        target_response_s=target_s,
+        working_set_mb=32.0,
+        dataset_mb=dataset_mb,
+    )
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        spec_for(peak_rps=0)
+    with pytest.raises(ValueError):
+        spec_for(target_s=0)
+    with pytest.raises(ValueError):
+        ServiceLoadSpec(web_request_mix(1), -1, 1, 1)
+
+
+def test_profiler_validation():
+    with pytest.raises(ValueError):
+        ResourceProfiler(inflation=0.9)
+
+
+def test_holding_time_combines_cpu_and_transmit():
+    profiler = ResourceProfiler()
+    m = MachineConfig()
+    small = profiler.holding_time_s(spec_for(dataset_mb=0.1), m)
+    large = profiler.holding_time_s(spec_for(dataset_mb=1.0), m)
+    assert large > 5 * small  # transmit dominates and scales with size
+
+
+def test_derivation_monotone_in_load():
+    profiler = ResourceProfiler()
+    low = profiler.derive_requirement(spec_for(peak_rps=2.0))
+    high = profiler.derive_requirement(spec_for(peak_rps=10.0))
+    assert high.n > low.n
+
+
+def test_tighter_slo_needs_more_units():
+    profiler = ResourceProfiler()
+    loose = profiler.derive_requirement(spec_for(target_s=0.5))
+    tight = profiler.derive_requirement(spec_for(target_s=0.15))
+    assert tight.n > loose.n
+
+
+def test_unreachable_slo_rejected():
+    profiler = ResourceProfiler()
+    # One M's transmit of 1 MB takes ~0.85 s; a 0.1 s SLO is hopeless.
+    with pytest.raises(InfeasibleSLOError, match="larger M"):
+        profiler.derive(spec_for(dataset_mb=1.0, target_s=0.1))
+
+
+def test_memory_and_disk_gates():
+    profiler = ResourceProfiler()
+    small_mem = MachineConfig(mem_mb=GUEST_OS_FLOOR_MB + 1)
+    with pytest.raises(InfeasibleSLOError, match="working set"):
+        profiler.derive(spec_for(), machine=small_mem)
+    small_disk = MachineConfig(disk_mb=10)
+    with pytest.raises(InfeasibleSLOError, match="dataset"):
+        profiler.derive(
+            ServiceLoadSpec(web_request_mix(0.1), 0.1, 1.0, 1.0, dataset_mb=100),
+            machine=small_disk,
+        )
+
+
+def test_report_internals_consistent():
+    profiler = ResourceProfiler()
+    report = profiler.derive(spec_for())
+    assert 0 < report.expected_utilisation <= report.max_utilisation + 1e-9
+    assert report.expected_response_s <= spec_for().target_response_s + 1e-9
+    assert report.unit_capacity_rps == pytest.approx(1.0 / report.holding_time_s)
+
+
+def test_derived_requirement_meets_slo_in_simulation():
+    """Closed loop: derive <n, M>, deploy it, replay the declared load,
+    and verify the measured mean response time meets the SLO."""
+    spec = spec_for()
+    report = ResourceProfiler().derive(spec)
+    assert report.requirement.n <= 4  # the two-host HUP's ceiling
+
+    testbed = build_paper_testbed(seed=17)
+    repo = testbed.add_repository()
+    repo.publish(make_s1_web_content())
+    testbed.agent.register_asp("acme", "supersecret")
+    creds = Credentials("acme", "supersecret")
+    testbed.run(
+        testbed.agent.service_creation(
+            creds, "web", repo, "web-content", report.requirement
+        )
+    )
+    record = testbed.master.get_service("web")
+    clients = ClientPool(testbed.lan, n=4)
+    siege = Siege(
+        testbed.sim, record.switch, clients, RandomStreams(17), dataset_mb=0.1
+    )
+    result = testbed.run(siege.run_open_loop(rate_rps=spec.peak_rps, duration_s=60.0))
+    assert result.failures == 0
+    assert result.mean_response_s() <= spec.target_response_s

@@ -1,0 +1,65 @@
+"""Unit tests for machine configuration M and <n, M>."""
+
+import pytest
+
+from repro.core.requirements import TABLE1_EXAMPLE, MachineConfig, ResourceRequirement
+
+
+def test_table1_example_values():
+    m = TABLE1_EXAMPLE
+    assert m.cpu_mhz == 512.0
+    assert m.mem_mb == 256.0
+    assert m.disk_mb == 1024.0
+    assert m.bw_mbps == 10.0
+
+
+def test_machine_config_defaults_match_table1():
+    assert MachineConfig() == TABLE1_EXAMPLE
+
+
+def test_machine_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(cpu_mhz=0)
+    with pytest.raises(ValueError):
+        MachineConfig(bw_mbps=-1)
+
+
+def test_as_vector():
+    vec = MachineConfig().as_vector()
+    assert vec.cpu_mhz == 512.0
+    assert vec.mem_mb == 256.0
+    assert vec.disk_mb == 1024.0
+    assert vec.bw_mbps == 10.0
+
+
+def test_table_rendering():
+    table = TABLE1_EXAMPLE.table()
+    assert "512MHz" in table
+    assert "256MB" in table
+    assert "1GB" in table
+    assert "10Mbps" in table
+    assert table.splitlines()[0].startswith("Type of resource")
+
+
+def test_requirement_validation():
+    with pytest.raises(ValueError):
+        ResourceRequirement(n=0, machine=MachineConfig())
+
+
+def test_requirement_total_vector_scales():
+    req = ResourceRequirement(n=3, machine=MachineConfig())
+    total = req.total_vector()
+    assert total.cpu_mhz == 3 * 512.0
+    assert total.mem_mb == 3 * 256.0
+
+
+def test_with_n_preserves_machine():
+    req = ResourceRequirement(n=3, machine=MachineConfig(cpu_mhz=1000))
+    resized = req.with_n(5)
+    assert resized.n == 5
+    assert resized.machine is req.machine
+
+
+def test_str_format():
+    req = ResourceRequirement(n=2, machine=MachineConfig())
+    assert str(req) == "<2, M(cpu=512MHz, mem=256MB)>"

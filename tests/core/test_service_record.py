@@ -1,0 +1,52 @@
+"""Unit tests for the service record state machine."""
+
+import pytest
+
+from repro.core.errors import SODAError
+from repro.core.requirements import MachineConfig, ResourceRequirement
+from repro.core.service import ServiceRecord, ServiceState
+
+
+def record():
+    return ServiceRecord(
+        name="web", asp="acme", image_name="web-content",
+        requirement=ResourceRequirement(n=1, machine=MachineConfig()),
+    )
+
+
+def test_initial_state():
+    r = record()
+    assert r.state is ServiceState.REQUESTED
+    assert not r.is_running
+    assert r.total_units == 0
+    assert r.node_endpoints() == []
+
+
+def test_happy_path_transitions():
+    r = record()
+    r.transition(ServiceState.PRIMING)
+    r.transition(ServiceState.RUNNING)
+    assert r.is_running
+    r.transition(ServiceState.RESIZING)
+    r.transition(ServiceState.RUNNING)
+    r.transition(ServiceState.TORN_DOWN)
+
+
+def test_illegal_transitions_rejected():
+    r = record()
+    with pytest.raises(SODAError):
+        r.transition(ServiceState.RUNNING)  # must prime first
+    r.transition(ServiceState.PRIMING)
+    with pytest.raises(SODAError):
+        r.transition(ServiceState.RESIZING)
+    r.transition(ServiceState.RUNNING)
+    r.transition(ServiceState.TORN_DOWN)
+    with pytest.raises(SODAError):
+        r.transition(ServiceState.RUNNING)  # terminal
+
+
+def test_priming_can_abort_to_torn_down():
+    r = record()
+    r.transition(ServiceState.PRIMING)
+    r.transition(ServiceState.TORN_DOWN)
+    assert r.state is ServiceState.TORN_DOWN

@@ -1,0 +1,52 @@
+"""Integration tests: every experiment runs (fast mode) and stays
+within tolerance of the paper."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment, _experiments
+
+
+ALL_IDS = [
+    "table1", "table2", "table3", "table4",
+    "fig3", "fig4", "fig5", "fig6",
+    "download",
+    "ablation-bridge-proxy", "ablation-ddos", "ablation-inflation",
+    "ablation-policies", "ablation-placement",
+    "ablation-scheduler-shares", "ablation-tailoring",
+]
+
+
+def test_registry_complete():
+    assert sorted(_experiments()) == sorted(ALL_IDS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("nope")
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_experiment_within_tolerance_fast(experiment_id):
+    result = run_experiment(experiment_id, seed=0, fast=True)
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no table rows"
+    failed = [
+        c.name for c in result.comparisons if c.within_tolerance is False
+    ]
+    assert not failed, f"{experiment_id} out of tolerance: {failed}"
+    # Renders without crashing.
+    text = result.render()
+    assert experiment_id in text
+
+
+def test_experiments_deterministic():
+    a = run_experiment("table2", seed=0, fast=True)
+    b = run_experiment("table2", seed=0, fast=True)
+    assert a.rows == b.rows
+
+
+def test_fig4_seed_changes_measurements_not_shape():
+    a = run_experiment("fig4", seed=1, fast=True)
+    b = run_experiment("fig4", seed=2, fast=True)
+    assert a.all_within_tolerance and b.all_within_tolerance
+    assert a.rows != b.rows  # different arrival draws

@@ -1,0 +1,68 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.experiments.report_md import _result_section, generate_markdown
+from repro.experiments.runner import main
+from repro.metrics.report import ExperimentResult
+
+
+def sample_result(within=True):
+    result = ExperimentResult("table9", "Synthetic", headers=["k", "v"])
+    result.add_row("a", 1)
+    result.series["s"] = ([0.0], [1.0])
+    result.compare("c", 1.0, 1.0 if within else 5.0, tolerance_rel=0.1)
+    result.notes = "a note"
+    return result
+
+
+def test_result_section_structure():
+    lines = _result_section(sample_result())
+    text = "\n".join(lines)
+    assert "## table9: Synthetic" in text
+    assert "| k | v |" in text
+    assert "**Paper vs measured:**" in text
+    assert "within tol." in text
+    assert "> a note" in text
+    # Unknown ids are labelled as ablations.
+    assert "Ablation beyond the paper" in text
+
+
+def test_result_section_known_artefact_label():
+    result = sample_result()
+    result.experiment_id = "table2"
+    text = "\n".join(_result_section(result))
+    assert "Paper artefact: Table 2" in text
+
+
+def test_result_section_out_of_tolerance_marked():
+    text = "\n".join(_result_section(sample_result(within=False)))
+    assert "| OUT |" in text
+
+
+def test_cli_report_writes_file(tmp_path, monkeypatch):
+    """The report subcommand with a stubbed single-experiment registry
+    (monkeypatch swaps the module dict and restores it afterwards)."""
+    import repro.experiments.runner as runner_module
+
+    monkeypatch.setattr(
+        runner_module, "EXPERIMENTS",
+        {"table9": lambda seed, fast: sample_result()},
+    )
+    out = tmp_path / "EXPERIMENTS.md"
+    assert main(["report", "--fast", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "# EXPERIMENTS — paper vs measured" in text
+    assert "## table9" in text
+    assert "All experiments within tolerance" in text
+
+
+def test_generate_markdown_flags_out_of_tolerance(monkeypatch):
+    import repro.experiments.runner as runner_module
+
+    monkeypatch.setattr(
+        runner_module, "EXPERIMENTS",
+        {"bad": lambda seed, fast: sample_result(within=False)},
+    )
+    text = generate_markdown(fast=True)
+    assert "OUT OF TOLERANCE" in text and "bad" in text

@@ -1,0 +1,33 @@
+"""Tests for the soda-experiments CLI."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out and "fig5" in out
+
+
+def test_cli_run_ok(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "512MHz" in out
+
+
+def test_cli_run_fast_flag(capsys):
+    assert main(["run", "table4", "--fast", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "gettimeofday" in out
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "nope"])
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,112 @@
+"""Unit tests for the boot-time model (Table 2)."""
+
+import pytest
+
+from repro.guestos.boot import BootTimeModel
+from repro.host.machine import make_seattle, make_tacoma
+from repro.image.profiles import paper_profiles
+from repro.sim import Simulator
+
+GUEST_MEM_MB = 256.0
+
+# Paper Table 2: (seattle seconds, tacoma seconds).
+PAPER_TABLE2 = {
+    "S_I": (3.0, 4.0),
+    "S_II": (2.0, 3.0),
+    "S_III": (4.0, 16.0),
+    "S_IV": (22.0, 42.0),
+}
+
+
+def plans_for(profile_key):
+    image = paper_profiles()[profile_key]
+    tailored = image.tailored_rootfs()
+    model = BootTimeModel()
+    seattle_plan = model.plan(tailored, make_seattle(Simulator()), GUEST_MEM_MB)
+    tacoma_plan = model.plan(tailored, make_tacoma(Simulator()), GUEST_MEM_MB)
+    return seattle_plan, tacoma_plan
+
+
+@pytest.mark.parametrize("key", list(PAPER_TABLE2))
+def test_boot_times_near_paper(key):
+    seattle_plan, tacoma_plan = plans_for(key)
+    paper_seattle, paper_tacoma = PAPER_TABLE2[key]
+    assert seattle_plan.total_s == pytest.approx(paper_seattle, rel=0.20)
+    assert tacoma_plan.total_s == pytest.approx(paper_tacoma, rel=0.20)
+
+
+@pytest.mark.parametrize("key", list(PAPER_TABLE2))
+def test_tacoma_always_slower(key):
+    seattle_plan, tacoma_plan = plans_for(key)
+    assert tacoma_plan.total_s > seattle_plan.total_s
+
+
+def test_boot_time_not_ordered_by_image_size():
+    """Paper: 'bootstrapping time is not solely dependent on the service
+    image size' — the 400 MB S_III boots faster than the 253 MB S_IV."""
+    s3_seattle, _ = plans_for("S_III")
+    s4_seattle, _ = plans_for("S_IV")
+    assert s3_seattle.total_s < s4_seattle.total_s
+
+
+def test_ram_vs_disk_mount_asymmetry():
+    """S_III RAM-mounts on seattle (2 GB) but disk-mounts on tacoma."""
+    s3_seattle, s3_tacoma = plans_for("S_III")
+    assert s3_seattle.ramdisk
+    assert not s3_tacoma.ramdisk
+    # The disk mount is what blows up tacoma's time.
+    assert s3_tacoma.mount_time_s > 4 * s3_seattle.mount_time_s
+
+
+def test_small_profiles_ram_mount_everywhere():
+    for key in ("S_I", "S_II"):
+        seattle_plan, tacoma_plan = plans_for(key)
+        assert seattle_plan.ramdisk and tacoma_plan.ramdisk
+
+
+def test_plan_components_sum():
+    plan, _ = plans_for("S_I")
+    assert plan.total_s == pytest.approx(
+        plan.mount_time_s + plan.kernel_time_s + plan.services_time_s
+    )
+
+
+def test_services_dominate_s4():
+    """S_IV's cost is the full service set, not its image size."""
+    plan, _ = plans_for("S_IV")
+    assert plan.services_time_s > plan.mount_time_s
+    assert plan.services_time_s > 0.7 * plan.total_s
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        BootTimeModel(kernel_init_mcycles=-1)
+    with pytest.raises(ValueError):
+        BootTimeModel(uml_slowdown=0.5)
+    with pytest.raises(ValueError):
+        BootTimeModel(ramdisk_rate_mbs=0)
+    model = BootTimeModel()
+    image = paper_profiles()["S_I"]
+    with pytest.raises(ValueError):
+        model.plan(image.tailored_rootfs(), make_seattle(Simulator()), guest_mem_mb=0)
+
+
+def test_boot_time_s_equals_plan_total():
+    model = BootTimeModel()
+    image = paper_profiles()["S_II"]
+    host = make_seattle(Simulator())
+    rootfs = image.tailored_rootfs()
+    assert model.boot_time_s(rootfs, host, GUEST_MEM_MB) == pytest.approx(
+        model.plan(rootfs, host, GUEST_MEM_MB).total_s
+    )
+
+
+def test_tailoring_speeds_up_boot():
+    """Booting S_I's tailored rootfs beats booting a full service set."""
+    model = BootTimeModel()
+    host = make_seattle(Simulator())
+    s4 = paper_profiles()["S_IV"]
+    s1 = paper_profiles()["S_I"]
+    full = model.boot_time_s(s4.rootfs, host, GUEST_MEM_MB)
+    tailored = model.boot_time_s(s1.tailored_rootfs(), host, GUEST_MEM_MB)
+    assert tailored < full / 3

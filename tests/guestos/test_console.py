@@ -1,0 +1,88 @@
+"""Tests for the guest console (Figure 3 view)."""
+
+import pytest
+
+from repro.guestos.console import ConsoleError, GuestConsole
+from tests.guestos.test_uml import boot, make_vm
+
+
+def running_console(hostname="Web"):
+    sim, host, vm = make_vm()
+    boot(sim, vm)
+    return vm, GuestConsole(vm, hostname)
+
+
+def test_banner_matches_figure3():
+    vm, console = running_console(hostname="web")
+    banner = console.banner()
+    assert banner.splitlines() == [
+        "Welcome to SODA",
+        "Kernel 2.4.19 on a i686",
+        "web login:",
+    ]
+
+
+def test_hostname_validation():
+    vm, _ = running_console()
+    with pytest.raises(ValueError):
+        GuestConsole(vm, "")
+
+
+def test_login_and_prompt():
+    vm, console = running_console(hostname="Web")
+    output = console.login("root")
+    assert "Web login: root" in output
+    assert "Password:" in output
+    assert console.prompt == "[root@Web /root]#"
+
+
+def test_login_requires_running_guest():
+    sim, host, vm = make_vm()
+    console = GuestConsole(vm, "Web")
+    with pytest.raises(ConsoleError, match="created"):
+        console.login()
+
+
+def test_ps_ef_through_console():
+    vm, console = running_console()
+    console.login()
+    output = console.run("ps -ef")
+    assert "[kswapd]" in output
+    assert "sshd" in output
+
+
+def test_command_whitelist():
+    vm, console = running_console()
+    console.login()
+    assert console.run("hostname") == "Web"
+    assert "2.4.19" in console.run("uname -a")
+    assert console.run("whoami") == "root"
+    assert "NOT host root" in console.run("id")
+    with pytest.raises(ConsoleError, match="not found"):
+        console.run("rm -rf /")
+
+
+def test_commands_require_login():
+    vm, console = running_console()
+    with pytest.raises(ConsoleError, match="not logged in"):
+        console.run("ps -ef")
+    with pytest.raises(ConsoleError):
+        _ = console.prompt
+
+
+def test_console_dies_with_guest():
+    vm, console = running_console()
+    console.login()
+    vm.crash(cause="attack")
+    with pytest.raises(ConsoleError, match="died"):
+        console.run("ps -ef")
+
+
+def test_screenshot_accumulates_transcript():
+    vm, console = running_console(hostname="Web")
+    console.login()
+    console.run("ps -ef")
+    shot = console.screenshot()
+    assert "Welcome to SODA" in shot
+    assert "[root@Web /root]# ps -ef" in shot
+    assert "[kswapd]" in shot

@@ -1,0 +1,129 @@
+"""Tests for the guest filesystem tree."""
+
+import pytest
+
+from repro.guestos.fs import FileTree, FsError, materialise_rootfs
+from repro.image.profiles import make_s1_web_content, make_s4_full_server
+
+
+def test_mkdir_and_exists():
+    tree = FileTree()
+    tree.mkdir("/etc/init.d")
+    assert tree.exists("/etc")
+    assert tree.exists("/etc/init.d")
+    assert tree.is_dir("/etc/init.d")
+    assert not tree.exists("/var")
+
+
+def test_mkdir_idempotent():
+    tree = FileTree()
+    tree.mkdir("/a/b")
+    tree.mkdir("/a/b")
+    assert tree.listdir("/a") == ["b"]
+
+
+def test_relative_paths_rejected():
+    tree = FileTree()
+    with pytest.raises(FsError, match="absolute"):
+        tree.mkdir("etc")
+
+
+def test_add_file_creates_parents():
+    tree = FileTree()
+    tree.add_file("/usr/lib/libcrypto.so", 1.0)
+    assert tree.exists("/usr/lib/libcrypto.so")
+    assert not tree.is_dir("/usr/lib/libcrypto.so")
+    assert tree.size_mb("/usr") == 1.0
+
+
+def test_add_file_conflicts():
+    tree = FileTree()
+    tree.add_file("/a", 1.0)
+    with pytest.raises(FsError, match="exists"):
+        tree.add_file("/a", 2.0)
+    with pytest.raises(FsError, match="is a file"):
+        tree.mkdir("/a/b")
+    with pytest.raises(FsError):
+        tree.add_file("/x", -1)
+
+
+def test_remove_returns_freed_space():
+    tree = FileTree()
+    tree.add_file("/etc/init.d/sshd", 6.0)
+    tree.add_file("/etc/init.d/httpd", 10.0)
+    assert tree.remove("/etc/init.d/sshd") == 6.0
+    assert not tree.exists("/etc/init.d/sshd")
+    assert tree.remove("/etc") == 10.0  # recursive
+    with pytest.raises(FsError):
+        tree.remove("/etc")
+    with pytest.raises(FsError):
+        tree.remove("/")
+
+
+def test_size_accounting_recursive():
+    tree = FileTree()
+    tree.add_file("/a/x", 1.0)
+    tree.add_file("/a/b/y", 2.0)
+    tree.add_file("/c", 4.0)
+    assert tree.size_mb("/a") == 3.0
+    assert tree.size_mb() == 7.0
+    assert tree.n_files() == 3
+
+
+def test_listdir_and_walk():
+    tree = FileTree()
+    tree.add_file("/b/file", 1.0)
+    tree.mkdir("/a")
+    assert tree.listdir() == ["a", "b"]
+    paths = [p for p, _, _ in tree.walk()]
+    assert paths == ["/a", "/b", "/b/file"]
+    with pytest.raises(FsError):
+        tree.listdir("/b/file")
+    with pytest.raises(FsError):
+        tree.listdir("/zzz")
+
+
+def test_render_contains_sizes():
+    tree = FileTree()
+    tree.add_file("/etc/init.d/sshd", 6.0)
+    text = tree.render()
+    assert "sshd" in text and "6.00 MB" in text
+
+
+# ------------------------------------------------------- rootfs materialisation
+def test_materialised_tree_size_matches_rootfs():
+    rootfs = make_s1_web_content().tailored_rootfs()
+    tree = materialise_rootfs(rootfs)
+    assert tree.size_mb() == pytest.approx(rootfs.size_mb, abs=0.01)
+
+
+def test_materialised_tree_has_init_scripts_per_service():
+    rootfs = make_s1_web_content().tailored_rootfs()
+    tree = materialise_rootfs(rootfs)
+    assert set(tree.listdir("/etc/init.d")) == set(rootfs.services)
+
+
+def test_tailoring_physically_removes_init_scripts():
+    full = make_s4_full_server().rootfs
+    tailored = full.tailored_for(["sshd"])
+    full_tree = materialise_rootfs(full)
+    tailored_tree = materialise_rootfs(tailored)
+    assert "sendmail" in full_tree.listdir("/etc/init.d")
+    assert "sendmail" not in tailored_tree.listdir("/etc/init.d")
+    assert "sshd" in tailored_tree.listdir("/etc/init.d")
+    assert tailored_tree.size_mb() < full_tree.size_mb()
+
+
+def test_unneeded_libraries_not_materialised():
+    full = make_s4_full_server().rootfs
+    tailored = full.tailored_for(["syslog"])  # needs no shared libs
+    tree = materialise_rootfs(tailored)
+    assert tree.listdir("/usr/lib") == []
+
+
+def test_payload_lands_in_var_data():
+    from repro.image.profiles import make_s3_lfs
+
+    rootfs = make_s3_lfs().tailored_rootfs()
+    tree = materialise_rootfs(rootfs)
+    assert tree.size_mb("/var/data") == pytest.approx(383.0)

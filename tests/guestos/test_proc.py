@@ -1,0 +1,83 @@
+"""Unit tests for the guest process table."""
+
+import pytest
+
+from repro.guestos.proc import GUEST_ROOT_UID, ProcessState, ProcessTable
+
+
+def test_boot_populate_creates_kernel_threads():
+    table = ProcessTable()
+    table.boot_populate()
+    assert len(table) == len(ProcessTable.KERNEL_THREADS)
+    assert table.find_by_command("[kswapd]")
+    assert all(p.uid == GUEST_ROOT_UID for p in table.alive_processes)
+
+
+def test_boot_populate_twice_rejected():
+    table = ProcessTable()
+    table.boot_populate()
+    with pytest.raises(RuntimeError):
+        table.boot_populate()
+
+
+def test_spawn_assigns_monotonic_pids():
+    table = ProcessTable()
+    a = table.spawn("httpd_19_5", uid=0, user="root")
+    b = table.spawn("ps -ef", uid=0, user="root")
+    assert b.pid == a.pid + 1
+
+
+def test_spawn_negative_uid_rejected():
+    with pytest.raises(ValueError):
+        ProcessTable().spawn("x", uid=-1, user="bad")
+
+
+def test_kill_single_process():
+    table = ProcessTable()
+    proc = table.spawn("victim", uid=0, user="root")
+    table.kill(proc.pid)
+    assert not proc.alive
+    assert proc.state is ProcessState.KILLED
+    with pytest.raises(ValueError):
+        table.kill(proc.pid)
+
+
+def test_get_unknown_pid():
+    with pytest.raises(KeyError):
+        ProcessTable().get(99)
+
+
+def test_kill_all_counts_alive_only():
+    table = ProcessTable()
+    table.boot_populate()
+    proc = table.spawn("ghttpd-1.4", uid=0, user="root")
+    table.kill(proc.pid)
+    killed = table.kill_all()
+    assert killed == len(ProcessTable.KERNEL_THREADS)
+    assert table.alive_processes == []
+
+
+def test_find_by_command():
+    table = ProcessTable()
+    table.spawn("httpd_19_5", uid=0, user="root")
+    table.spawn("ghttpd-1.4", uid=0, user="root")
+    assert len(table.find_by_command("httpd")) == 2
+    assert len(table.find_by_command("ghttpd")) == 1
+
+
+def test_ps_ef_rendering():
+    table = ProcessTable()
+    table.boot_populate()
+    table.spawn("httpd_19_5", uid=0, user="root")
+    output = table.ps_ef()
+    lines = output.splitlines()
+    assert "PID" in lines[0] and "Command" in lines[0]
+    assert any("httpd_19_5" in line for line in lines)
+    assert any("[kswapd]" in line for line in lines)
+
+
+def test_ps_ef_hides_dead_processes():
+    table = ProcessTable()
+    proc = table.spawn("dead", uid=0, user="root")
+    table.kill(proc.pid)
+    assert "dead" not in table.ps_ef()

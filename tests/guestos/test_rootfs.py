@@ -1,0 +1,99 @@
+"""Unit tests for root filesystems and tailoring."""
+
+import pytest
+
+from repro.guestos.rootfs import RootFilesystem, TailoringError
+from repro.guestos.services import ServiceRegistry, SharedLibrary, SystemService
+
+
+def registry():
+    return ServiceRegistry(
+        services=[
+            SystemService("syslog", 100, 2.0),
+            SystemService("network", 200, 3.0, deps=("syslog",)),
+            SystemService("sshd", 300, 6.0, deps=("network",), libs=("libcrypto",)),
+            SystemService("httpd", 400, 10.0, deps=("network",), libs=("libssl",)),
+            SystemService("sendmail", 500, 12.0, deps=("network",)),
+        ],
+        libraries=[SharedLibrary("libcrypto", 1.0), SharedLibrary("libssl", 0.7)],
+    )
+
+
+def full_fs():
+    return RootFilesystem.build(
+        "full", base_mb=10.0,
+        services=["syslog", "network", "sshd", "httpd", "sendmail"],
+        data_mb=5.0, registry=registry(),
+    )
+
+
+def test_size_accounts_for_everything():
+    fs = full_fs()
+    # base 10 + data 5 + services 33 + libs 1.7
+    assert fs.size_mb == pytest.approx(49.7)
+
+
+def test_unknown_service_rejected():
+    with pytest.raises(ValueError):
+        RootFilesystem.build("bad", 10.0, ["nope"], registry=registry())
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        RootFilesystem.build("bad", -1.0, [], registry=registry())
+
+
+def test_tailoring_keeps_dependency_closure_only():
+    fs = full_fs()
+    tailored = fs.tailored_for(["sshd"])
+    assert tailored.services == {"sshd", "network", "syslog"}
+    assert tailored.is_tailored
+    # base 10 + data 5 + syslog 2 + network 3 + sshd 6 + libcrypto 1
+    assert tailored.size_mb == pytest.approx(27.0)
+    assert tailored.size_mb < fs.size_mb
+
+
+def test_tailoring_drops_unneeded_libraries():
+    fs = full_fs()
+    tailored = fs.tailored_for(["sshd"])
+    # libssl (httpd-only) must not be counted.
+    libs = tailored.registry.library_closure(tailored.services)
+    assert libs == {"libcrypto"}
+
+
+def test_tailoring_missing_service_fails():
+    fs = RootFilesystem.build("min", 5.0, ["syslog"], registry=registry())
+    with pytest.raises(TailoringError, match="sshd"):
+        fs.tailored_for(["sshd"])
+
+
+def test_tailoring_missing_dependency_fails():
+    # Rootfs has sshd but not its network dependency installed.
+    reg = registry()
+    fs = RootFilesystem(
+        name="broken", base_mb=5.0, data_mb=0.0,
+        services=frozenset({"sshd"}), registry=reg,
+    )
+    with pytest.raises(TailoringError):
+        fs.tailored_for(["sshd"])
+
+
+def test_start_order_and_cost():
+    fs = full_fs().tailored_for(["sshd"])
+    order = fs.start_order()
+    assert order.index("syslog") < order.index("network") < order.index("sshd")
+    assert fs.total_start_cost_mcycles() == 600
+
+
+def test_tailoring_idempotent_content():
+    fs = full_fs()
+    once = fs.tailored_for(["httpd"])
+    twice = once.tailored_for(["httpd"])
+    assert once.services == twice.services
+    assert once.size_mb == pytest.approx(twice.size_mb)
+
+
+def test_rootfs_is_frozen():
+    fs = full_fs()
+    with pytest.raises(Exception):
+        fs.base_mb = 0  # type: ignore[misc]

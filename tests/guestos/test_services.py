@@ -1,0 +1,129 @@
+"""Unit tests for the system-service registry."""
+
+import pytest
+
+from repro.guestos.services import (
+    ServiceRegistry,
+    SharedLibrary,
+    SystemService,
+    default_registry,
+)
+
+
+def small_registry():
+    return ServiceRegistry(
+        services=[
+            SystemService("a", 100, 1.0),
+            SystemService("b", 200, 2.0, deps=("a",)),
+            SystemService("c", 300, 3.0, deps=("b",), libs=("libx",)),
+            SystemService("d", 50, 0.5, libs=("libx", "liby")),
+        ],
+        libraries=[SharedLibrary("libx", 1.0), SharedLibrary("liby", 0.5)],
+    )
+
+
+def test_lookup_and_contains():
+    reg = small_registry()
+    assert reg.get("a").start_cost_mcycles == 100
+    assert "a" in reg
+    assert "zzz" not in reg
+    assert len(reg) == 4
+    with pytest.raises(KeyError, match="zzz"):
+        reg.get("zzz")
+    with pytest.raises(KeyError):
+        reg.library("libz")
+
+
+def test_duplicates_rejected():
+    reg = small_registry()
+    with pytest.raises(ValueError):
+        reg.add(SystemService("a", 1, 1))
+    with pytest.raises(ValueError):
+        reg.add_library(SharedLibrary("libx", 1))
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(ValueError):
+        SystemService("bad", -1, 1)
+    with pytest.raises(ValueError):
+        SystemService("bad", 1, -1)
+    with pytest.raises(ValueError):
+        SharedLibrary("bad", -1)
+
+
+def test_dependency_closure():
+    reg = small_registry()
+    assert reg.dependency_closure(["c"]) == {"a", "b", "c"}
+    assert reg.dependency_closure(["a"]) == {"a"}
+    assert reg.dependency_closure(["c", "d"]) == {"a", "b", "c", "d"}
+    assert reg.dependency_closure([]) == frozenset()
+
+
+def test_dependency_cycle_detected():
+    reg = ServiceRegistry(
+        services=[
+            SystemService("x", 1, 1, deps=("y",)),
+            SystemService("y", 1, 1, deps=("x",)),
+        ]
+    )
+    with pytest.raises(ValueError, match="cycle"):
+        reg.dependency_closure(["x"])
+
+
+def test_start_order_respects_deps():
+    reg = small_registry()
+    order = reg.start_order(["c", "d"])
+    assert order.index("a") < order.index("b") < order.index("c")
+    assert set(order) == {"a", "b", "c", "d"}
+
+
+def test_start_order_deterministic():
+    reg = small_registry()
+    assert reg.start_order(["d", "c"]) == reg.start_order(["c", "d"])
+
+
+def test_library_closure_deduplicates():
+    reg = small_registry()
+    libs = reg.library_closure(["c", "d"])
+    assert libs == {"libx", "liby"}
+
+
+def test_total_start_cost_and_size():
+    reg = small_registry()
+    assert reg.total_start_cost(["a", "b"]) == 300
+    # c + d services (3.0 + 0.5) + libx (1.0, once) + liby (0.5)
+    assert reg.total_size(["c", "d"]) == pytest.approx(5.0)
+
+
+def test_default_registry_is_cached_and_populated():
+    reg1 = default_registry()
+    reg2 = default_registry()
+    assert reg1 is reg2
+    assert len(reg1) >= 35
+    assert "kudzu" in reg1
+    assert "sendmail" in reg1
+
+
+def test_default_registry_closures_work():
+    reg = default_registry()
+    closure = reg.dependency_closure(["sshd"])
+    assert closure == {"sshd", "network", "random", "syslog"}
+    closure = reg.dependency_closure(["nfs"])
+    assert "portmap" in closure and "nfslock" in closure
+
+
+def test_default_registry_slow_starters():
+    """kudzu and sendmail dominate full-server boot, per 2002 lore."""
+    reg = default_registry()
+    costs = {name: reg.get(name).start_cost_mcycles for name in reg.names}
+    top2 = sorted(costs, key=costs.get, reverse=True)[:2]
+    assert set(top2) == {"kudzu", "sendmail"}
+
+
+def test_default_registry_full_start_order_valid():
+    reg = default_registry()
+    order = reg.start_order(reg.names)
+    position = {name: i for i, name in enumerate(order)}
+    for name in reg.names:
+        for dep in reg.get(name).deps:
+            assert position[dep] < position[name]

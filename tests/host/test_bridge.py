@@ -1,0 +1,105 @@
+"""Unit tests for the bridging and proxying networking modules."""
+
+import pytest
+
+from repro.host.bridge import BridgingModule, Endpoint, ProxyModule
+
+
+class FakeNode:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_bridge_register_resolve_unregister():
+    bridge = BridgingModule("seattle")
+    node = FakeNode("web-1")
+    endpoint = bridge.register("128.10.9.125", node)
+    assert endpoint == Endpoint("128.10.9.125", 0)
+    assert bridge.resolve("128.10.9.125") is node
+    assert bridge.n_nodes == 1
+    bridge.unregister("128.10.9.125")
+    assert bridge.n_nodes == 0
+    with pytest.raises(KeyError):
+        bridge.resolve("128.10.9.125")
+
+
+def test_bridge_duplicate_ip_rejected():
+    bridge = BridgingModule()
+    bridge.register("10.0.0.1", FakeNode("a"))
+    with pytest.raises(ValueError):
+        bridge.register("10.0.0.1", FakeNode("b"))
+
+
+def test_bridge_unregister_unknown_rejected():
+    with pytest.raises(KeyError):
+        BridgingModule().unregister("10.0.0.1")
+
+
+def test_bridge_relay_is_free():
+    bridge = BridgingModule()
+    assert bridge.relay_cost(payload_mb=100.0, cpu_mhz=2600.0) == 0.0
+
+
+def test_proxy_assigns_distinct_ports():
+    proxy = ProxyModule(host_ip="128.10.9.1")
+    e1 = proxy.register(FakeNode("a"))
+    e2 = proxy.register(FakeNode("b"))
+    assert e1.ip == e2.ip == "128.10.9.1"
+    assert e1.port != e2.port
+    assert proxy.n_nodes == 2
+
+
+def test_proxy_explicit_port_and_conflict():
+    proxy = ProxyModule(host_ip="10.0.0.1")
+    proxy.register(FakeNode("a"), port=8080)
+    with pytest.raises(ValueError):
+        proxy.register(FakeNode("b"), port=8080)
+
+
+def test_proxy_resolve_and_unregister():
+    proxy = ProxyModule(host_ip="10.0.0.1")
+    node = FakeNode("a")
+    endpoint = proxy.register(node)
+    assert proxy.resolve(endpoint.port) is node
+    proxy.unregister(endpoint.port)
+    with pytest.raises(KeyError):
+        proxy.resolve(endpoint.port)
+    with pytest.raises(KeyError):
+        proxy.unregister(endpoint.port)
+
+
+def test_proxy_relay_costs_cpu_and_scales_with_payload():
+    proxy = ProxyModule(host_ip="10.0.0.1")
+    small = proxy.relay_cost(payload_mb=0.1, cpu_mhz=2600.0)
+    large = proxy.relay_cost(payload_mb=10.0, cpu_mhz=2600.0)
+    assert small > 0
+    assert large > small * 10  # per-request constant + per-MB term
+    assert proxy.requests_relayed == 2
+    assert proxy.mb_relayed == pytest.approx(10.1)
+
+
+def test_proxy_relay_slower_on_weaker_cpu():
+    proxy = ProxyModule(host_ip="10.0.0.1")
+    fast = proxy.relay_cost(payload_mb=1.0, cpu_mhz=2600.0)
+    slow = proxy.relay_cost(payload_mb=1.0, cpu_mhz=1800.0)
+    assert slow > fast
+
+
+def test_proxy_relay_validation():
+    proxy = ProxyModule(host_ip="10.0.0.1")
+    with pytest.raises(ValueError):
+        proxy.relay_cost(payload_mb=-1, cpu_mhz=2600.0)
+    with pytest.raises(ValueError):
+        proxy.relay_cost(payload_mb=1, cpu_mhz=0)
+
+
+def test_proxy_endpoints_listing():
+    proxy = ProxyModule(host_ip="10.0.0.1", base_port=30000)
+    proxy.register(FakeNode("a"))
+    proxy.register(FakeNode("b"))
+    endpoints = proxy.endpoints()
+    assert [e.port for e in endpoints] == [30000, 30001]
+
+
+def test_endpoint_str():
+    assert str(Endpoint("1.2.3.4", 8080)) == "1.2.3.4:8080"

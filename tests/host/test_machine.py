@@ -1,0 +1,83 @@
+"""Unit tests for the physical host model."""
+
+import pytest
+
+from repro.host.machine import (
+    HOST_OS_RESERVED_MB,
+    Host,
+    make_seattle,
+    make_tacoma,
+    paper_testbed_hosts,
+)
+from repro.net.lan import LAN
+from repro.sim import Simulator
+
+
+def test_paper_host_specs():
+    sim = Simulator()
+    seattle = make_seattle(sim)
+    tacoma = make_tacoma(sim)
+    assert seattle.cpu_mhz == 2600.0
+    assert seattle.ram_mb == 2048.0
+    assert tacoma.cpu_mhz == 1800.0
+    assert tacoma.ram_mb == 768.0
+    assert seattle.disk_rate_mbs > tacoma.disk_rate_mbs
+
+
+def test_paper_testbed_attaches_both_hosts():
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=100.0)
+    hosts = paper_testbed_hosts(sim, lan)
+    assert [h.name for h in hosts] == ["seattle", "tacoma"]
+    for host in hosts:
+        assert host.nic is not None
+        assert host.nic.rate_mbps == 100.0
+
+
+def test_cpu_time_scales_inversely_with_clock():
+    sim = Simulator()
+    seattle, tacoma = make_seattle(sim), make_tacoma(sim)
+    work = 5200.0  # megacycles
+    assert seattle.cpu_time(work) == pytest.approx(2.0)
+    assert tacoma.cpu_time(work) == pytest.approx(5200 / 1800)
+    with pytest.raises(ValueError):
+        seattle.cpu_time(-1)
+
+
+def test_disk_read_time():
+    sim = Simulator()
+    seattle = make_seattle(sim)
+    assert seattle.disk_read_time(100.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        seattle.disk_read_time(-1)
+
+
+def test_host_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Host(sim, "x", cpu_mhz=0, ram_mb=1024, disk_mb=1000, disk_rate_mbs=10)
+    with pytest.raises(ValueError):
+        Host(sim, "x", cpu_mhz=1000, ram_mb=100, disk_mb=1000, disk_rate_mbs=10)
+    with pytest.raises(ValueError):
+        Host(sim, "x", cpu_mhz=1000, ram_mb=1024, disk_mb=0, disk_rate_mbs=10)
+
+
+def test_memory_manager_reflects_os_reserve():
+    sim = Simulator()
+    seattle = make_seattle(sim)
+    assert seattle.memory.free_mb == pytest.approx(2048 - HOST_OS_RESERVED_MB)
+
+
+def test_reservation_manager_capacity_excludes_os_reserve():
+    sim = Simulator()
+    tacoma = make_tacoma(sim)
+    assert tacoma.reservations.capacity.mem_mb == pytest.approx(768 - HOST_OS_RESERVED_MB)
+    assert tacoma.reservations.capacity.cpu_mhz == 1800.0
+
+
+def test_attach_registers_nic_with_lan():
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=100.0)
+    host = make_seattle(sim)
+    nic = host.attach(lan)
+    assert lan.nic("seattle") is nic

@@ -1,0 +1,67 @@
+"""Unit tests for host RAM accounting."""
+
+import pytest
+
+from repro.host.memory import MemoryError_, MemoryManager
+
+
+def test_free_accounts_for_os_reserve():
+    mm = MemoryManager(total_mb=1024, os_reserved_mb=256)
+    assert mm.free_mb == 768
+
+
+def test_allocate_and_release():
+    mm = MemoryManager(total_mb=1024, os_reserved_mb=0)
+    alloc = mm.allocate(512, purpose="guest")
+    assert mm.free_mb == 512
+    assert mm.allocated_mb == 512
+    alloc.release()
+    assert mm.free_mb == 1024
+
+
+def test_over_allocation_rejected():
+    mm = MemoryManager(total_mb=1024, os_reserved_mb=512)
+    with pytest.raises(MemoryError_, match="guest"):
+        mm.allocate(513, purpose="guest")
+
+
+def test_double_release_rejected():
+    mm = MemoryManager(total_mb=1024, os_reserved_mb=0)
+    alloc = mm.allocate(100)
+    alloc.release()
+    with pytest.raises(MemoryError_):
+        alloc.release()
+
+
+def test_negative_allocation_rejected():
+    mm = MemoryManager(total_mb=1024, os_reserved_mb=0)
+    with pytest.raises(ValueError):
+        mm.allocate(-1)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MemoryManager(total_mb=0, os_reserved_mb=0)
+    with pytest.raises(ValueError):
+        MemoryManager(total_mb=100, os_reserved_mb=100)
+    with pytest.raises(ValueError):
+        MemoryManager(total_mb=100, os_reserved_mb=-1)
+
+
+def test_can_ramdisk_mount_rule():
+    # tacoma-like: 768 total, 300 reserved -> 468 free.
+    mm = MemoryManager(total_mb=768, os_reserved_mb=300)
+    # 400 MB LFS rootfs + 256 MB guest does NOT fit.
+    assert not mm.can_ramdisk_mount(rootfs_mb=400, guest_mem_mb=256)
+    # 29.3 MB base rootfs + 256 MB guest fits.
+    assert mm.can_ramdisk_mount(rootfs_mb=29.3, guest_mem_mb=256)
+    # seattle-like: 2048 total -> everything fits.
+    mm2 = MemoryManager(total_mb=2048, os_reserved_mb=300)
+    assert mm2.can_ramdisk_mount(rootfs_mb=400, guest_mem_mb=256)
+
+
+def test_fits_tracks_live_allocations():
+    mm = MemoryManager(total_mb=1000, os_reserved_mb=0)
+    mm.allocate(900)
+    assert mm.fits(100)
+    assert not mm.fits(101)

@@ -1,0 +1,99 @@
+"""Unit tests for the reservation manager and resource vectors."""
+
+import pytest
+
+from repro.host.reservation import (
+    Reservation,
+    ReservationError,
+    ReservationManager,
+    ResourceVector,
+)
+
+
+def make_manager():
+    return ReservationManager("seattle", cpu_mhz=2600, mem_mb=1748, disk_mb=60000, bw_mbps=100)
+
+
+def test_vector_validation():
+    with pytest.raises(ValueError):
+        ResourceVector(-1, 0, 0, 0)
+    with pytest.raises(ValueError):
+        ResourceVector(0, 0, 0, -5)
+
+
+def test_vector_arithmetic():
+    a = ResourceVector(100, 200, 300, 10)
+    b = ResourceVector(50, 100, 150, 5)
+    assert a + b == ResourceVector(150, 300, 450, 15)
+    assert a - b == ResourceVector(50, 100, 150, 5)
+    assert a.scaled(2) == ResourceVector(200, 400, 600, 20)
+    with pytest.raises(ValueError):
+        a.scaled(-1)
+
+
+def test_vector_fits_within():
+    small = ResourceVector(100, 100, 100, 10)
+    big = ResourceVector(200, 200, 200, 20)
+    assert small.fits_within(big)
+    assert not big.fits_within(small)
+    assert small.fits_within(small)  # boundary is inclusive
+
+
+def test_fits_within_is_per_dimension():
+    a = ResourceVector(100, 300, 100, 10)  # more memory than b
+    b = ResourceVector(200, 200, 200, 20)
+    assert not a.fits_within(b)
+
+
+def test_reserve_and_release():
+    mgr = make_manager()
+    vec = ResourceVector(512, 256, 1024, 10)
+    r = mgr.reserve(vec, label="node-1")
+    assert mgr.n_live == 1
+    assert mgr.reserved == vec
+    assert mgr.available == mgr.capacity - vec
+    r.release()
+    assert mgr.n_live == 0
+    assert mgr.reserved == ResourceVector.zero()
+
+
+def test_overcommit_rejected():
+    mgr = make_manager()
+    mgr.reserve(ResourceVector(2000, 1000, 1000, 50))
+    with pytest.raises(ReservationError, match="seattle"):
+        mgr.reserve(ResourceVector(700, 100, 100, 10))  # CPU would exceed
+
+
+def test_can_fit_matches_reserve():
+    mgr = make_manager()
+    vec = ResourceVector(2600, 1748, 60000, 100)
+    assert mgr.can_fit(vec)
+    mgr.reserve(vec)
+    assert not mgr.can_fit(ResourceVector(1, 0, 0, 0))
+
+
+def test_double_release_rejected():
+    mgr = make_manager()
+    r = mgr.reserve(ResourceVector(100, 100, 100, 10))
+    r.release()
+    with pytest.raises(ReservationError):
+        r.release()
+
+
+def test_utilisation_fractions():
+    mgr = make_manager()
+    mgr.reserve(ResourceVector(1300, 874, 30000, 50))
+    util = mgr.utilisation()
+    assert util["cpu"] == pytest.approx(0.5)
+    assert util["mem"] == pytest.approx(0.5)
+    assert util["disk"] == pytest.approx(0.5)
+    assert util["bw"] == pytest.approx(0.5)
+
+
+def test_many_small_reservations_sum():
+    mgr = make_manager()
+    slots = [mgr.reserve(ResourceVector(100, 50, 1000, 4)) for _ in range(10)]
+    assert mgr.reserved.cpu_mhz == pytest.approx(1000)
+    for slot in slots[:5]:
+        slot.release()
+    assert mgr.reserved.cpu_mhz == pytest.approx(500)

@@ -1,0 +1,115 @@
+"""Unit tests for the token bucket and per-IP traffic shaper."""
+
+import pytest
+
+from repro.host.traffic import TokenBucket, TrafficShaper
+
+
+def test_bucket_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_mbps=0, burst_mb=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_mbps=10, burst_mb=0)
+
+
+def test_bucket_starts_full():
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=5.0)
+    assert bucket.tokens(0.0) == 5.0
+    assert bucket.try_consume(0.0, 5.0)
+    assert not bucket.try_consume(0.0, 0.1)
+
+
+def test_bucket_refills_at_rate():
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=10.0)  # 1 MB/s
+    bucket.try_consume(0.0, 10.0)
+    assert bucket.tokens(3.0) == pytest.approx(3.0)
+    assert bucket.try_consume(3.0, 3.0)
+    assert not bucket.try_consume(3.0, 0.5)
+
+
+def test_bucket_never_exceeds_burst():
+    bucket = TokenBucket(rate_mbps=80.0, burst_mb=2.0)
+    assert bucket.tokens(100.0) == 2.0
+
+
+def test_bucket_time_monotonicity_enforced():
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=1.0)
+    bucket.tokens(5.0)
+    with pytest.raises(ValueError):
+        bucket.tokens(4.0)
+
+
+def test_bucket_negative_consume_rejected():
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=1.0)
+    with pytest.raises(ValueError):
+        bucket.try_consume(0.0, -1)
+
+
+def test_delay_until_available():
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=10.0)  # 1 MB/s
+    bucket.try_consume(0.0, 10.0)
+    assert bucket.delay_until_available(0.0, 4.0) == pytest.approx(4.0)
+    assert bucket.delay_until_available(5.0, 4.0) == pytest.approx(0.0)
+
+
+def test_delay_for_oversized_request_rejected():
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=1.0)
+    with pytest.raises(ValueError, match="fragment"):
+        bucket.delay_until_available(0.0, 2.0)
+
+
+def test_steady_state_throughput_approaches_rate():
+    """Property: over a long window, admitted volume ~ rate * time + burst."""
+    bucket = TokenBucket(rate_mbps=8.0, burst_mb=2.0)  # 1 MB/s
+    sent = 0.0
+    t = 0.0
+    while t < 100.0:
+        if bucket.try_consume(t, 0.5):
+            sent += 0.5
+        t += 0.1
+    assert sent <= 1.0 * 100.0 + 2.0 + 1e-9
+    assert sent >= 1.0 * 100.0 - 1.0
+
+
+def test_shaper_install_and_cap():
+    shaper = TrafficShaper("seattle", enforced=True)
+    shaper.install("128.10.9.125", 10.0)
+    shaper.install("128.10.9.126", 20.0)
+    assert shaper.cap_for("128.10.9.125") == 10.0
+    assert shaper.cap_for("128.10.9.200") is None
+    assert shaper.n_entries == 2
+    assert shaper.total_allocated_mbps() == 30.0
+
+
+def test_shaper_unenforced_by_default():
+    """The paper's shaper was work-in-progress (§4.2): entries are
+    installed but caps apply only once enforcement is enabled."""
+    shaper = TrafficShaper()
+    shaper.install("10.0.0.1", 10.0)
+    assert shaper.share_for("10.0.0.1") == 10.0
+    assert shaper.cap_for("10.0.0.1") is None
+    shaper.enforced = True
+    assert shaper.cap_for("10.0.0.1") == 10.0
+
+
+def test_shaper_update_overwrites():
+    shaper = TrafficShaper(enforced=True)
+    shaper.install("10.0.0.1", 10.0)
+    shaper.install("10.0.0.1", 25.0)
+    assert shaper.cap_for("10.0.0.1") == 25.0
+    assert shaper.n_entries == 1
+
+
+def test_shaper_remove():
+    shaper = TrafficShaper(enforced=True)
+    shaper.install("10.0.0.1", 10.0)
+    shaper.remove("10.0.0.1")
+    assert shaper.cap_for("10.0.0.1") is None
+    with pytest.raises(KeyError):
+        shaper.remove("10.0.0.1")
+
+
+def test_shaper_rejects_nonpositive_rate():
+    shaper = TrafficShaper()
+    with pytest.raises(ValueError):
+        shaper.install("10.0.0.1", 0)

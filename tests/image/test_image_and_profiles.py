@@ -1,0 +1,119 @@
+"""Unit tests for service images and the four paper profiles."""
+
+import pytest
+
+from repro.guestos.rootfs import RootFilesystem
+from repro.guestos.services import default_registry
+from repro.image.image import ServiceComponent, ServiceImage
+from repro.image.profiles import (
+    S1_SIZE_MB,
+    S2_SIZE_MB,
+    S3_SIZE_MB,
+    S4_SIZE_MB,
+    make_s1_web_content,
+    make_s2_honeypot,
+    make_s3_lfs,
+    make_s4_full_server,
+    paper_profiles,
+)
+from repro.image.rpm import RpmPackage
+
+
+def test_profile_sizes_match_table2_exactly():
+    assert make_s1_web_content().size_mb == pytest.approx(S1_SIZE_MB)
+    assert make_s2_honeypot().size_mb == pytest.approx(S2_SIZE_MB)
+    assert make_s3_lfs().size_mb == pytest.approx(S3_SIZE_MB)
+    assert make_s4_full_server().size_mb == pytest.approx(S4_SIZE_MB)
+
+
+def test_paper_profiles_keys_and_kinds():
+    profiles = paper_profiles()
+    assert list(profiles) == ["S_I", "S_II", "S_III", "S_IV"]
+    assert profiles["S_I"].app_kind == "web"
+    assert profiles["S_II"].app_kind == "honeypot"
+    assert profiles["S_II"].entrypoint == "ghttpd-1.4"
+
+
+def test_s1_tailored_services():
+    tailored = make_s1_web_content().tailored_rootfs()
+    assert tailored.services == {
+        "syslog", "network", "inetd", "sshd", "crond", "random", "keytable",
+    }
+
+
+def test_s2_is_smallest_s3_has_fewest_services():
+    profiles = paper_profiles()
+    sizes = {k: v.size_mb for k, v in profiles.items()}
+    assert min(sizes, key=sizes.get) == "S_II"
+    n_services = {k: len(v.tailored_rootfs().services) for k, v in profiles.items()}
+    assert min(n_services, key=n_services.get) == "S_III"
+    assert max(n_services, key=n_services.get) == "S_IV"
+
+
+def test_s4_uses_every_registry_service():
+    image = make_s4_full_server()
+    assert image.tailored_rootfs().services == frozenset(default_registry().names)
+
+
+def test_image_validates_rootfs_covers_requirements():
+    registry = default_registry()
+    bare = RootFilesystem.build("bare", 10.0, ["syslog"], registry=registry)
+    with pytest.raises(ValueError, match="lacks"):
+        ServiceImage(
+            name="broken", rootfs=bare, required_services=("sshd",),
+            entrypoint="x",
+        )
+
+
+def test_image_port_validation():
+    image = make_s1_web_content()
+    with pytest.raises(ValueError):
+        ServiceImage(
+            name="bad", rootfs=image.rootfs,
+            required_services=image.required_services,
+            entrypoint="x", port=0,
+        )
+
+
+def test_partitionable_components():
+    registry = default_registry()
+    rootfs = RootFilesystem.build(
+        "multi", 20.0, ["syslog", "network", "httpd", "mysqld"], registry=registry
+    )
+    front = ServiceComponent("frontend", "httpd", ("httpd",), weight=2.0)
+    back = ServiceComponent("database", "mysqld", ("mysqld",), weight=1.0)
+    image = ServiceImage(
+        name="shop", rootfs=rootfs, required_services=("httpd", "mysqld"),
+        entrypoint="httpd", components=(front, back),
+    )
+    assert image.is_partitionable
+    front_fs = image.component_rootfs("frontend")
+    assert "httpd" in front_fs.services
+    assert "mysqld" not in front_fs.services
+    with pytest.raises(KeyError):
+        image.component_rootfs("nope")
+
+
+def test_component_validation():
+    with pytest.raises(ValueError):
+        ServiceComponent("c", "x", (), weight=0)
+
+
+def test_component_requiring_missing_service_rejected():
+    registry = default_registry()
+    rootfs = RootFilesystem.build("web-only", 20.0, ["syslog", "network", "httpd"], registry=registry)
+    bad = ServiceComponent("db", "mysqld", ("mysqld",))
+    with pytest.raises(ValueError, match="component"):
+        ServiceImage(
+            name="shop", rootfs=rootfs, required_services=("httpd",),
+            entrypoint="httpd", components=(bad,),
+        )
+
+
+def test_non_partitionable_by_default():
+    assert not make_s1_web_content().is_partitionable
+
+
+def test_app_packages_counted_in_size():
+    image = make_s1_web_content()
+    assert image.size_mb == pytest.approx(image.rootfs.size_mb + 1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for the image repository and download path."""
+
+import pytest
+
+from repro.image.profiles import make_s1_web_content, make_s2_honeypot
+from repro.image.repository import ImageRepository, UnknownImage
+from repro.net.http import HttpModel
+from repro.net.lan import LAN
+from repro.sim import Simulator
+
+
+def build():
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=100.0)
+    http = HttpModel(sim, lan)
+    repo = ImageRepository("asp-repo", lan.nic("asp-repo", 100.0))
+    return sim, lan, http, repo
+
+
+def test_publish_and_get():
+    _, _, _, repo = build()
+    image = make_s1_web_content()
+    location = repo.publish(image)
+    assert location.url == "http://asp-repo/web-content.rpm"
+    assert repo.get("web-content") is image
+    assert "web-content" in repo
+    assert len(repo) == 1
+
+
+def test_duplicate_publish_rejected():
+    _, _, _, repo = build()
+    repo.publish(make_s1_web_content())
+    with pytest.raises(ValueError):
+        repo.publish(make_s1_web_content())
+
+
+def test_unknown_image_errors():
+    _, _, _, repo = build()
+    with pytest.raises(UnknownImage):
+        repo.get("missing")
+    with pytest.raises(UnknownImage):
+        repo.location("missing")
+    with pytest.raises(UnknownImage):
+        repo.unpublish("missing")
+
+
+def test_unpublish():
+    _, _, _, repo = build()
+    repo.publish(make_s1_web_content())
+    repo.unpublish("web-content")
+    assert "web-content" not in repo
+
+
+def test_download_takes_bandwidth_limited_time():
+    sim, lan, http, repo = build()
+    repo.publish(make_s1_web_content())  # 29.3 MB
+    client = lan.nic("hup-host", 100.0)
+
+    def proc(sim):
+        stats = yield from repo.download(http, client, "web-content")
+        return stats
+
+    p = sim.process(proc(sim))
+    sim.run()
+    stats = p.value
+    # 29.3 MB over ~100 Mbps (minus protocol overhead) ~ 2.5 s.
+    assert stats.elapsed == pytest.approx(29.3 * 8 / (100.0 * 0.94), rel=0.05)
+    assert repo.downloads_served == 1
+
+
+def test_download_time_scales_with_image_size():
+    sim, lan, http, repo = build()
+    repo.publish(make_s1_web_content())  # 29.3 MB
+    repo.publish(make_s2_honeypot())  # 15 MB
+    client = lan.nic("hup-host", 100.0)
+    times = {}
+
+    def fetch(sim, name):
+        stats = yield from repo.download(http, client, name)
+        times[name] = stats.elapsed
+
+    def run_all(sim):
+        yield sim.process(fetch(sim, "web-content"))
+        yield sim.process(fetch(sim, "honeypot"))
+
+    sim.process(run_all(sim))
+    sim.run()
+    assert times["web-content"] / times["honeypot"] == pytest.approx(29.3 / 15.0, rel=0.1)

@@ -1,0 +1,73 @@
+"""Unit tests for RPM-like packaging and dependency resolution."""
+
+import pytest
+
+from repro.image.rpm import DependencyError, RpmPackage, resolve_dependencies, total_size_mb
+
+
+def test_package_validation():
+    with pytest.raises(ValueError):
+        RpmPackage(name="", version="1", size_mb=1)
+    with pytest.raises(ValueError):
+        RpmPackage(name="x", version="1", size_mb=-1)
+
+
+def test_nvr_label():
+    pkg = RpmPackage(name="ghttpd", version="1.4", size_mb=0.3)
+    assert pkg.nvr == "ghttpd-1.4"
+
+
+def test_all_provides_includes_own_name():
+    pkg = RpmPackage(name="httpd", version="1", size_mb=1, provides=("webserver",))
+    assert pkg.all_provides() == {"httpd", "webserver"}
+
+
+def test_resolution_simple_chain():
+    libc = RpmPackage("libc", "2.2", 5.0)
+    ssl = RpmPackage("openssl", "0.9", 1.0, requires=("libc",))
+    app = RpmPackage("app", "1.0", 2.0, requires=("openssl",))
+    order = resolve_dependencies([app], [libc, ssl])
+    assert [p.name for p in order] == ["libc", "openssl", "app"]
+
+
+def test_resolution_by_capability():
+    apache = RpmPackage("apache", "1.3", 3.0, provides=("webserver",))
+    portal = RpmPackage("portal", "1.0", 1.0, requires=("webserver",))
+    order = resolve_dependencies([portal], [apache])
+    assert [p.name for p in order] == ["apache", "portal"]
+
+
+def test_resolution_missing_requirement():
+    app = RpmPackage("app", "1.0", 1.0, requires=("nothere",))
+    with pytest.raises(DependencyError, match="nothere"):
+        resolve_dependencies([app], [])
+
+
+def test_resolution_tolerates_cycles():
+    a = RpmPackage("a", "1", 1.0, requires=("b",))
+    b = RpmPackage("b", "1", 1.0, requires=("a",))
+    order = resolve_dependencies([a], [b])
+    assert {p.name for p in order} == {"a", "b"}
+
+
+def test_resolution_deduplicates_shared_deps():
+    libc = RpmPackage("libc", "2.2", 5.0)
+    a = RpmPackage("a", "1", 1.0, requires=("libc",))
+    b = RpmPackage("b", "1", 1.0, requires=("libc",))
+    order = resolve_dependencies([a, b], [libc])
+    assert [p.name for p in order] == ["libc", "a", "b"]
+
+
+def test_resolution_deterministic_order():
+    libc = RpmPackage("libc", "2.2", 5.0)
+    z = RpmPackage("zapp", "1", 1.0, requires=("libc",))
+    a = RpmPackage("aapp", "1", 1.0, requires=("libc",))
+    order1 = resolve_dependencies([z, a], [libc])
+    order2 = resolve_dependencies([a, z], [libc])
+    assert [p.name for p in order1] == [p.name for p in order2] == ["libc", "aapp", "zapp"]
+
+
+def test_total_size():
+    pkgs = [RpmPackage("a", "1", 1.5), RpmPackage("b", "1", 2.5)]
+    assert total_size_mb(pkgs) == 4.0
+    assert total_size_mb([]) == 0.0

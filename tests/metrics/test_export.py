@@ -1,0 +1,76 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.metrics.export import comparisons_csv, export_all, series_csv, table_csv
+from repro.metrics.report import ExperimentResult
+
+
+def sample_result():
+    result = ExperimentResult("tableX", "Sample", headers=["name", "value"])
+    result.add_row("alpha", 1)
+    result.add_row("beta", 2)
+    result.series["line"] = ([0.0, 1.0], [10.0, 20.0])
+    result.compare("check-a", 1.0, 1.05, tolerance_rel=0.1)
+    result.compare("check-b", None, 42.0, note="shape only")
+    return result
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_table_csv_roundtrip():
+    rows = parse(table_csv(sample_result()))
+    assert rows[0] == ["name", "value"]
+    assert rows[1] == ["alpha", "1"]
+    assert rows[2] == ["beta", "2"]
+
+
+def test_series_csv():
+    rows = parse(series_csv(sample_result(), "line"))
+    assert rows[0] == ["x", "y"]
+    assert rows[1] == ["0.0", "10.0"]
+    with pytest.raises(KeyError, match="no series"):
+        series_csv(sample_result(), "missing")
+
+
+def test_comparisons_csv_encodes_tolerance():
+    rows = parse(comparisons_csv(sample_result()))
+    assert rows[0][0] == "check"
+    by_name = {r[0]: r for r in rows[1:]}
+    assert by_name["check-a"][3] == "True"
+    assert by_name["check-b"][1] == ""  # no paper value
+    assert by_name["check-b"][3] == ""  # shape-only
+    assert by_name["check-b"][4] == "shape only"
+
+
+def test_export_all_filenames():
+    documents = export_all(sample_result())
+    assert set(documents) == {
+        "tableX.csv",
+        "tableX_comparisons.csv",
+        "tableX_series0.csv",
+    }
+    for text in documents.values():
+        assert parse(text)  # all parse as CSV
+
+
+def test_export_real_experiment():
+    from repro.experiments import table4_syscall
+
+    result = table4_syscall.run()
+    documents = export_all(result)
+    table_rows = parse(documents["table4.csv"])
+    assert table_rows[0][0] == "System call"
+    assert len(table_rows) == 7  # header + 6 syscalls
+
+
+def test_csv_handles_commas_in_cells():
+    result = ExperimentResult("x", "t", headers=["a"])
+    result.add_row("hello, world")
+    rows = parse(table_csv(result))
+    assert rows[1] == ["hello, world"]

@@ -1,0 +1,67 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.metrics.report import Comparison, ExperimentResult, render_chart, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [["1", "22"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_render_table_validation():
+    with pytest.raises(ValueError):
+        render_table([], [])
+    with pytest.raises(ValueError):
+        render_table(["a"], [["1", "2"]])
+
+
+def test_render_chart_contains_points():
+    text = render_chart([0, 1, 2], [0, 1, 2], width=20, height=5)
+    assert text.count("*") == 3
+
+
+def test_render_chart_validation():
+    with pytest.raises(ValueError):
+        render_chart([1], [1, 2])
+    with pytest.raises(ValueError):
+        render_chart([], [])
+
+
+def test_render_chart_flat_series():
+    text = render_chart([0, 1], [5, 5])
+    assert "*" in text
+
+
+def test_comparison_tolerance():
+    assert Comparison("x", 10.0, 11.0, tolerance_rel=0.25).within_tolerance
+    assert not Comparison("x", 10.0, 20.0, tolerance_rel=0.25).within_tolerance
+    assert Comparison("x", None, 123.0).within_tolerance is None
+    assert Comparison("x", 0.0, 0.0, tolerance_rel=0.0).within_tolerance
+
+
+def test_experiment_result_accumulates():
+    result = ExperimentResult("e1", "Example", headers=["k", "v"])
+    result.add_row("a", 1)
+    result.compare("check", 1.0, 1.1, tolerance_rel=0.2)
+    assert result.all_within_tolerance
+    result.compare("bad", 1.0, 9.0, tolerance_rel=0.1)
+    assert not result.all_within_tolerance
+
+
+def test_experiment_result_render_sections():
+    result = ExperimentResult("e1", "Example", headers=["k", "v"])
+    result.add_row("a", 1)
+    result.series["line"] = ([0, 1], [0, 1])
+    result.compare("check", 1.0, 1.0)
+    result.notes = "a note"
+    text = result.render()
+    assert "== e1: Example ==" in text
+    assert "| k | v |" in text
+    assert "-- line --" in text
+    assert "paper vs measured:" in text
+    assert "a note" in text

@@ -1,0 +1,73 @@
+"""Unit tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import confidence_interval_95, linear_fit, summarize
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.n == 5
+    assert s.mean == 3.0
+    assert s.minimum == 1.0
+    assert s.maximum == 5.0
+    assert s.median == 3.0
+    assert s.std == pytest.approx(np.std([1, 2, 3, 4, 5], ddof=1))
+
+
+def test_summarize_single_value():
+    s = summarize([7.0])
+    assert s.std == 0.0
+    assert s.mean == 7.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_confidence_interval_contains_mean():
+    rng = np.random.default_rng(1)
+    sample = rng.normal(10.0, 2.0, size=500)
+    lo, hi = confidence_interval_95(sample)
+    assert lo < 10.0 < hi
+    assert hi - lo < 1.0  # tight at n=500
+
+
+def test_confidence_interval_needs_two():
+    with pytest.raises(ValueError):
+        confidence_interval_95([1.0])
+
+
+def test_linear_fit_exact_line():
+    x = [1.0, 2.0, 3.0, 4.0]
+    y = [3.0, 5.0, 7.0, 9.0]  # y = 2x + 1
+    slope, intercept, r2 = linear_fit(x, y)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(1.0)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_linear_fit_constant_y():
+    slope, intercept, r2 = linear_fit([1, 2, 3], [5, 5, 5])
+    assert slope == pytest.approx(0.0)
+    assert r2 == 1.0
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1, 2], [1])
+    with pytest.raises(ValueError):
+        linear_fit([1], [1])
+    with pytest.raises(ValueError):
+        linear_fit([2, 2, 2], [1, 2, 3])
+
+
+def test_linear_fit_noisy_r2_below_one():
+    rng = np.random.default_rng(2)
+    x = np.linspace(0, 10, 50)
+    y = 3 * x + rng.normal(0, 5.0, size=50)
+    slope, _, r2 = linear_fit(x, y)
+    assert 2 < slope < 4
+    assert r2 < 1.0

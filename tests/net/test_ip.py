@@ -1,0 +1,105 @@
+"""Unit tests for IPv4 address pools."""
+
+import pytest
+
+from repro.net.ip import (
+    IPAddressPool,
+    IPPoolExhausted,
+    check_disjoint,
+    format_ipv4,
+    parse_ipv4,
+)
+
+
+def test_parse_format_roundtrip():
+    for addr in ["0.0.0.0", "128.10.9.125", "255.255.255.255", "10.0.0.1"]:
+        assert format_ipv4(parse_ipv4(addr)) == addr
+
+
+@pytest.mark.parametrize(
+    "bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "", "1.2.3.-1"]
+)
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(ValueError):
+        parse_ipv4(bad)
+
+
+def test_format_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        format_ipv4(-1)
+    with pytest.raises(ValueError):
+        format_ipv4(2**32)
+
+
+def test_pool_allocates_lowest_first():
+    pool = IPAddressPool("128.10.9.125", size=3)
+    assert pool.allocate() == "128.10.9.125"
+    assert pool.allocate() == "128.10.9.126"
+    assert pool.allocate() == "128.10.9.127"
+
+
+def test_pool_exhaustion():
+    pool = IPAddressPool("10.0.0.1", size=1, owner="seattle")
+    pool.allocate()
+    with pytest.raises(IPPoolExhausted, match="seattle"):
+        pool.allocate()
+
+
+def test_pool_release_and_reuse():
+    pool = IPAddressPool("10.0.0.1", size=2)
+    a = pool.allocate()
+    b = pool.allocate()
+    pool.release(a)
+    assert pool.n_free == 1
+    assert pool.allocate() == a
+    pool.release(b)
+    assert pool.allocate() == b
+
+
+def test_pool_release_unallocated_rejected():
+    pool = IPAddressPool("10.0.0.1", size=2)
+    with pytest.raises(ValueError):
+        pool.release("10.0.0.1")
+    with pytest.raises(ValueError):
+        pool.release("99.0.0.1")
+
+
+def test_pool_contains():
+    pool = IPAddressPool("10.0.0.10", size=5)
+    assert pool.contains("10.0.0.10")
+    assert pool.contains("10.0.0.14")
+    assert not pool.contains("10.0.0.15")
+    assert not pool.contains("10.0.0.9")
+
+
+def test_pool_bounds():
+    pool = IPAddressPool("10.0.0.1", size=4)
+    assert pool.first == "10.0.0.1"
+    assert pool.last == "10.0.0.4"
+    with pytest.raises(ValueError):
+        IPAddressPool("10.0.0.1", size=0)
+    with pytest.raises(ValueError):
+        IPAddressPool("255.255.255.255", size=2)
+
+
+def test_pool_counters():
+    pool = IPAddressPool("10.0.0.1", size=3)
+    assert (pool.n_free, pool.n_allocated) == (3, 0)
+    pool.allocate()
+    assert (pool.n_free, pool.n_allocated) == (2, 1)
+
+
+def test_check_disjoint_detects_overlap():
+    a = IPAddressPool("10.0.0.1", size=10, owner="seattle")
+    b = IPAddressPool("10.0.0.5", size=10, owner="tacoma")
+    c = IPAddressPool("10.0.1.1", size=10, owner="olympia")
+    overlap = check_disjoint([a, b, c])
+    assert overlap == ("seattle", "tacoma")
+    assert check_disjoint([a, c]) is None
+    assert check_disjoint([]) is None
+
+
+def test_check_disjoint_adjacent_ok():
+    a = IPAddressPool("10.0.0.1", size=4, owner="a")  # .1-.4
+    b = IPAddressPool("10.0.0.5", size=4, owner="b")  # .5-.8
+    assert check_disjoint([a, b]) is None

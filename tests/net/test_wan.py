@@ -1,0 +1,113 @@
+"""Tests for the WAN link between LANs."""
+
+import pytest
+
+from repro.net.lan import LAN
+from repro.net.wan import WanLink
+from repro.sim import Simulator
+
+
+def build(wan_mbps=20.0, latency=0.0):
+    sim = Simulator()
+    lan_a = LAN(sim, bandwidth_mbps=100.0)
+    lan_b = LAN(sim, bandwidth_mbps=100.0)
+    wan = WanLink(sim, lan_a, lan_b, bandwidth_mbps=wan_mbps, latency_s=latency)
+    src = lan_a.nic("src", 100.0)
+    dst = lan_b.nic("dst", 100.0)
+    return sim, lan_a, lan_b, wan, src, dst
+
+
+def test_validation():
+    sim = Simulator()
+    lan = LAN(sim)
+    other = LAN(sim)
+    with pytest.raises(ValueError):
+        WanLink(sim, lan, other, bandwidth_mbps=0)
+    with pytest.raises(ValueError):
+        WanLink(sim, lan, other, bandwidth_mbps=10, latency_s=-1)
+    with pytest.raises(ValueError):
+        WanLink(sim, lan, lan, bandwidth_mbps=10)
+
+
+def test_wan_is_the_bottleneck():
+    sim, lan_a, lan_b, wan, src, dst = build(wan_mbps=20.0)
+    transfer = wan.transfer(src, dst, size_mb=2.5)  # 2.5 MB at 2.5 MB/s
+    sim.run()
+    assert transfer.done.triggered
+    assert transfer.elapsed == pytest.approx(1.0, rel=0.02)
+
+
+def test_latency_added_once():
+    sim, *_ , wan, src, dst = build(wan_mbps=20.0, latency=0.05)
+    transfer = wan.transfer(src, dst, size_mb=2.5)
+    sim.run()
+    assert transfer.elapsed == pytest.approx(1.05, rel=0.02)
+
+
+def test_concurrent_transfers_share_the_pipe():
+    sim, lan_a, lan_b, wan, src, dst = build(wan_mbps=20.0)
+    src2 = lan_a.nic("src2", 100.0)
+    dst2 = lan_b.nic("dst2", 100.0)
+    t1 = wan.transfer(src, dst, size_mb=2.5)
+    t2 = wan.transfer(src2, dst2, size_mb=2.5)
+    sim.run()
+    # Each gets 10 Mbps -> 2 s.
+    assert t1.elapsed == pytest.approx(2.0, rel=0.05)
+    assert t2.elapsed == pytest.approx(2.0, rel=0.05)
+
+
+def test_share_released_when_transfer_completes():
+    sim, lan_a, lan_b, wan, src, dst = build(wan_mbps=20.0)
+    src2 = lan_a.nic("src2", 100.0)
+    dst2 = lan_b.nic("dst2", 100.0)
+    small = wan.transfer(src, dst, size_mb=1.25)
+    large = wan.transfer(src2, dst2, size_mb=2.5)
+    sim.run()
+    # small: 1.25 MB at 1.25 MB/s -> 1 s; large then gets the full pipe:
+    # 1.25 MB shared + 1.25 MB at 2.5 MB/s -> 1.5 s.
+    assert small.elapsed == pytest.approx(1.0, rel=0.05)
+    assert large.elapsed == pytest.approx(1.5, rel=0.05)
+
+
+def test_wan_leaves_intra_lan_traffic_alone():
+    sim, lan_a, lan_b, wan, src, dst = build(wan_mbps=20.0)
+    other_src = lan_a.nic("o1", 1000.0)
+    other_dst = lan_a.nic("o2", 1000.0)
+    wan.transfer(src, dst, size_mb=2.5)
+    local = lan_a.transfer(other_src, other_dst, size_mb=10.0)
+    sim.run()
+    # Local flow gets the LAN minus the WAN flow's 20 Mbps: 80 Mbps.
+    assert local.finished_at == pytest.approx(1.0, rel=0.05)
+
+
+def test_endpoint_validation():
+    sim, lan_a, lan_b, wan, src, dst = build()
+    src_b = lan_b.nic("src-b", 100.0)
+    with pytest.raises(ValueError, match="share a LAN"):
+        wan.transfer(src_b, dst, size_mb=1.0)
+    foreign_lan = LAN(sim)
+    foreign = foreign_lan.nic("x", 100.0)
+    with pytest.raises(ValueError, match="linked LANs"):
+        wan.transfer(foreign, dst, size_mb=1.0)
+
+
+def test_active_transfer_listing():
+    sim, *_, wan, src, dst = build()
+    transfer = wan.transfer(src, dst, size_mb=1.0)
+    assert wan.active_transfers == [transfer]
+    sim.run()
+    assert wan.active_transfers == []
+
+
+def test_cross_site_image_download_slower_than_local():
+    """The federation story: priming from a remote repository pays the
+    WAN price."""
+    from repro.net.http import TCP_EFFICIENCY
+
+    sim, lan_a, lan_b, wan, src, dst = build(wan_mbps=10.0)
+    remote = wan.transfer(src, dst, size_mb=29.3)
+    local = lan_a.transfer(
+        lan_a.nic("l1", 100.0), lan_a.nic("l2", 100.0), size_mb=29.3
+    )
+    sim.run()
+    assert remote.elapsed > 7 * (local.finished_at or 0)

@@ -1,0 +1,158 @@
+"""Property-based tests for SODA core invariants."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    PlacementStrategy,
+    inflated_unit_vector,
+    plan_allocation,
+)
+from repro.core.config import ServiceConfigFile
+from repro.core.errors import AdmissionError
+from repro.core.policies import WeightedRoundRobinPolicy
+from repro.core.requirements import MachineConfig, ResourceRequirement
+from repro.guestos.services import default_registry
+from repro.guestos.syscall import SyscallCostModel, SyscallMix
+from repro.host.reservation import ResourceVector
+
+
+# ---------------------------------------------------------------- config file
+backend_strategy = st.tuples(
+    st.tuples(
+        st.integers(0, 255), st.integers(0, 255),
+        st.integers(0, 255), st.integers(0, 255),
+    ).map(lambda o: ".".join(map(str, o))),
+    st.integers(min_value=1, max_value=65535),
+    st.integers(min_value=1, max_value=50),
+)
+
+
+@given(backends=st.lists(backend_strategy, min_size=0, max_size=12, unique_by=lambda b: (b[0], b[1])))
+@settings(max_examples=100)
+def test_config_file_parse_render_roundtrip(backends):
+    config = ServiceConfigFile("svc")
+    for ip, port, capacity in backends:
+        config.add_backend(ip, port, capacity)
+    parsed = ServiceConfigFile.parse(config.render())
+    assert parsed.service_name == "svc"
+    assert parsed.backends == config.backends
+    assert parsed.total_capacity == config.total_capacity
+
+
+# ---------------------------------------------------------------- allocation
+host_vectors = st.builds(
+    ResourceVector,
+    st.floats(min_value=0, max_value=5000),
+    st.floats(min_value=0, max_value=5000),
+    st.floats(min_value=0, max_value=50000),
+    st.floats(min_value=0, max_value=200),
+)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    hosts=st.lists(host_vectors, min_size=1, max_size=5),
+    strategy=st.sampled_from(list(PlacementStrategy)),
+)
+@settings(max_examples=150)
+def test_allocation_plan_is_feasible_and_complete(n, hosts, strategy):
+    """Whenever a plan is produced, it places exactly n units and every
+    host's share fits within what that host reported available."""
+    requirement = ResourceRequirement(n=n, machine=MachineConfig())
+    availability = [(f"h{i}", v) for i, v in enumerate(hosts)]
+    try:
+        plan = plan_allocation(requirement, availability, strategy=strategy)
+    except AdmissionError:
+        return
+    assert plan.total_units == n
+    unit = inflated_unit_vector(requirement)
+    by_host = dict(availability)
+    seen_hosts = set()
+    for assignment in plan.assignments:
+        assert assignment.host_name not in seen_hosts  # merged per host
+        seen_hosts.add(assignment.host_name)
+        assert unit.scaled(float(assignment.units)).fits_within(
+            by_host[assignment.host_name]
+        )
+
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    hosts=st.lists(host_vectors, min_size=1, max_size=5),
+)
+@settings(max_examples=100)
+def test_allocation_strategies_agree_on_admissibility(n, hosts):
+    """First-fit/best-fit/worst-fit admit exactly the same requirements
+    (they differ in placement, not feasibility) for single requests."""
+    requirement = ResourceRequirement(n=n, machine=MachineConfig())
+    availability = [(f"h{i}", v) for i, v in enumerate(hosts)]
+    outcomes = []
+    for strategy in PlacementStrategy:
+        try:
+            plan_allocation(requirement, availability, strategy=strategy)
+            outcomes.append(True)
+        except AdmissionError:
+            outcomes.append(False)
+    assert len(set(outcomes)) == 1
+
+
+# ------------------------------------------------------------------ policies
+class _Stub:
+    def __init__(self, name):
+        self.name = name
+        self.inflight = 0
+
+
+@given(weights=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6))
+@settings(max_examples=100)
+def test_wrr_long_run_counts_exactly_proportional(weights):
+    nodes = [_Stub(f"n{i}") for i in range(len(weights))]
+    weight_map = {node.name: w for node, w in zip(nodes, weights)}
+    policy = WeightedRoundRobinPolicy()
+    total = sum(weights)
+    rounds = 50
+    counts = {node.name: 0 for node in nodes}
+    for _ in range(total * rounds):
+        counts[policy.choose(nodes, weight_map).name] += 1
+    for node, weight in zip(nodes, weights):
+        assert counts[node.name] == weight * rounds
+
+
+# ------------------------------------------------------------------ syscalls
+@given(
+    user=st.floats(min_value=0, max_value=1000),
+    n_syscalls=st.floats(min_value=0, max_value=100000),
+)
+@settings(max_examples=150)
+def test_application_slowdown_bounded_by_syscall_ratio(user, n_syscalls):
+    model = SyscallCostModel()
+    mix = SyscallMix(user_mcycles=user, n_syscalls=n_syscalls)
+    slowdown = model.application_slowdown(mix)
+    max_ratio = max(model.syscall_slowdown(s) for s in model.known_syscalls)
+    assert 1.0 <= slowdown <= max_ratio + 1.0
+
+
+# ------------------------------------------------------------------ tailoring
+service_names = sorted(default_registry().names)
+
+
+@given(required=st.lists(st.sampled_from(service_names), min_size=0, max_size=8))
+@settings(max_examples=100)
+def test_tailoring_produces_minimal_closed_subset(required):
+    """Tailored services == dependency closure of the request; size and
+    boot cost never exceed the full rootfs."""
+    from repro.guestos.rootfs import RootFilesystem
+
+    registry = default_registry()
+    full = RootFilesystem.build("full", 30.0, registry.names, registry=registry)
+    tailored = full.tailored_for(required)
+    closure = registry.dependency_closure(required)
+    assert tailored.services == closure
+    assert tailored.services <= full.services
+    assert tailored.size_mb <= full.size_mb + 1e-9
+    assert tailored.total_start_cost_mcycles() <= full.total_start_cost_mcycles() + 1e-9
+    # Closed under dependencies: every dep of a kept service is kept.
+    for name in tailored.services:
+        for dep in registry.get(name).deps:
+            assert dep in tailored.services

@@ -1,0 +1,139 @@
+"""Property-based tests for the extension modules (fs, WAN, scheduler
+proportionality, billing)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.billing import BillingLedger
+from repro.guestos.fs import FileTree, FsError
+from repro.host.scheduler import ProportionalShareScheduler, TaskGroup, WorkloadSpec
+from repro.net.lan import LAN
+from repro.net.wan import WanLink
+from repro.sim import RandomStreams, Simulator
+
+
+# -------------------------------------------------------------- file tree
+path_segment = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=4
+)
+file_paths = st.lists(path_segment, min_size=1, max_size=4).map(
+    lambda parts: "/" + "/".join(parts)
+)
+
+
+@given(
+    entries=st.dictionaries(
+        file_paths, st.floats(min_value=0, max_value=100), max_size=15
+    )
+)
+@settings(max_examples=100)
+def test_fs_total_size_is_sum_of_files(entries):
+    tree = FileTree()
+    added = {}
+    for path, size in entries.items():
+        try:
+            tree.add_file(path, size)
+            added[path] = size
+        except FsError:
+            pass  # prefix conflicts (a file where a dir is needed)
+    assert abs(tree.size_mb() - sum(added.values())) < 1e-9
+    assert tree.n_files() == len(added)
+
+
+@given(
+    entries=st.dictionaries(
+        file_paths, st.floats(min_value=0.1, max_value=10), min_size=1, max_size=10
+    )
+)
+@settings(max_examples=100)
+def test_fs_remove_conserves_space(entries):
+    tree = FileTree()
+    added = {}
+    for path, size in entries.items():
+        try:
+            tree.add_file(path, size)
+            added[path] = size
+        except FsError:
+            pass
+    assume(added)
+    victim = sorted(added)[0]
+    before = tree.size_mb()
+    freed = tree.remove(victim)
+    # Removing a file frees exactly its size; removing a shared prefix
+    # directory would free more, but we removed a file path we added.
+    assert abs((before - tree.size_mb()) - freed) < 1e-9
+    assert freed >= added[victim] - 1e-9
+
+
+# ------------------------------------------------------------------- WAN
+@given(
+    sizes=st.lists(st.floats(min_value=0.1, max_value=5), min_size=1, max_size=6),
+    wan_mbps=st.floats(min_value=5, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_wan_aggregate_throughput_bounded(sizes, wan_mbps):
+    """All cross transfers finish; total time >= volume / WAN capacity."""
+    sim = Simulator()
+    lan_a = LAN(sim, bandwidth_mbps=1000.0)
+    lan_b = LAN(sim, bandwidth_mbps=1000.0)
+    wan = WanLink(sim, lan_a, lan_b, bandwidth_mbps=wan_mbps, latency_s=0.0)
+    transfers = []
+    for i, size in enumerate(sizes):
+        src = lan_a.nic(f"s{i}", 1000.0)
+        dst = lan_b.nic(f"d{i}", 1000.0)
+        transfers.append(wan.transfer(src, dst, size_mb=size))
+    sim.run()
+    assert all(t.done.triggered for t in transfers)
+    lower_bound = sum(sizes) * 8.0 / wan_mbps
+    assert sim.now >= lower_bound - 1e-6
+
+
+# ------------------------------------------------------- scheduler fairness
+@given(
+    tickets=st.lists(
+        st.floats(min_value=0.5, max_value=8), min_size=2, max_size=5
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_stride_scheduler_proportional_for_any_tickets(tickets):
+    """CPU-hog groups receive shares proportional to arbitrary tickets."""
+    groups = [
+        TaskGroup(f"g{i}", [WorkloadSpec.cpu_hog()], tickets=t)
+        for i, t in enumerate(tickets)
+    ]
+    trace = ProportionalShareScheduler(groups, RandomStreams(0)).run(30.0)
+    total = sum(tickets)
+    for i, t in enumerate(tickets):
+        assert abs(trace.total_share(f"g{i}") - t / total) < 0.03
+
+
+# ------------------------------------------------------------------ billing
+@given(
+    events=st.lists(
+        st.tuples(st.floats(min_value=0.1, max_value=100), st.integers(1, 5)),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=100)
+def test_billing_accrual_monotone_and_exact(events):
+    """Machine-hours accrue monotonically and equal the unit-time integral."""
+    ledger = BillingLedger()
+    now = 0.0
+    expected_unit_seconds = 0.0
+    current_units = events[0][1]
+    ledger.service_started("svc", "asp", now=now, m_units=current_units)
+    last_hours = 0.0
+    for gap, units in events:
+        expected_unit_seconds += current_units * gap
+        now += gap
+        hours = ledger.machine_hours("svc", now=now)
+        assert hours >= last_hours - 1e-12
+        last_hours = hours
+        ledger.service_resized("svc", now=now, m_units=units)
+        current_units = units
+    assert ledger.machine_hours("svc", now=now) * 3600.0 == (
+        expected_unit_seconds
+    ) or abs(
+        ledger.machine_hours("svc", now=now) * 3600.0 - expected_unit_seconds
+    ) < 1e-6

@@ -1,0 +1,124 @@
+"""Property-based tests for the LAN fluid model, IP pools, token
+buckets and reservations."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.host.reservation import ReservationError, ReservationManager, ResourceVector
+from repro.host.traffic import TokenBucket
+from repro.net.ip import IPAddressPool
+from repro.net.lan import LAN
+from repro.sim import Simulator
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.01, max_value=50), min_size=1, max_size=12),
+    bandwidth=st.floats(min_value=10, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_lan_transfers_bounded_by_capacity(sizes, bandwidth):
+    """All flows complete, no earlier than the aggregate-capacity bound
+    and no later than the serialised bound."""
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=bandwidth, latency_s=0.0)
+    flows = []
+    for i, size in enumerate(sizes):
+        src = lan.nic(f"s{i}", bandwidth * 2)
+        dst = lan.nic(f"d{i}", bandwidth * 2)
+        flows.append(lan.transfer(src, dst, size_mb=size))
+    sim.run()
+    assert all(f.done.triggered for f in flows)
+    total_mb = sum(sizes)
+    aggregate_bound = total_mb * 8.0 / bandwidth
+    assert sim.now >= aggregate_bound - 1e-6
+    assert sim.now <= aggregate_bound * 1.01 + 1e-6  # work-conserving
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=0.1, max_value=20), min_size=2, max_size=8),
+    cap=st.floats(min_value=1, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_lan_per_flow_caps_respected(sizes, cap):
+    """A capped flow never beats size/cap; uncapped flows still finish."""
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=1000.0, latency_s=0.0)
+    src = lan.nic("src", 2000.0)
+    capped = lan.transfer(src, lan.nic("d0", 2000.0), sizes[0], rate_cap_mbps=cap)
+    others = [
+        lan.transfer(lan.nic(f"s{i}", 2000.0), lan.nic(f"d{i}", 2000.0), size)
+        for i, size in enumerate(sizes[1:], start=1)
+    ]
+    sim.run()
+    lower_bound = sizes[0] * 8.0 / cap
+    assert capped.finished_at >= lower_bound - 1e-6
+    assert all(f.done.triggered for f in others)
+
+
+@given(
+    pool_size=st.integers(min_value=1, max_value=30),
+    ops=st.lists(st.booleans(), max_size=80),
+)
+@settings(max_examples=100)
+def test_ip_pool_never_double_allocates(pool_size, ops):
+    pool = IPAddressPool("10.0.0.1", size=pool_size)
+    live = set()
+    for allocate in ops:
+        if allocate:
+            if pool.n_free:
+                address = pool.allocate()
+                assert address not in live
+                live.add(address)
+        else:
+            if live:
+                address = live.pop()
+                pool.release(address)
+    assert pool.n_allocated == len(live)
+    assert pool.n_free + pool.n_allocated == pool_size
+
+
+@given(
+    rate=st.floats(min_value=0.5, max_value=100),
+    burst=st.floats(min_value=0.1, max_value=10),
+    sends=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=5),  # inter-send gap
+            st.floats(min_value=0.001, max_value=2),  # size
+        ),
+        max_size=50,
+    ),
+)
+@settings(max_examples=100)
+def test_token_bucket_long_run_rate_bound(rate, burst, sends):
+    """Admitted volume never exceeds rate*elapsed + burst."""
+    bucket = TokenBucket(rate_mbps=rate, burst_mb=burst)
+    now, admitted = 0.0, 0.0
+    for gap, size in sends:
+        now += gap
+        if size <= burst and bucket.try_consume(now, size):
+            admitted += size
+    assert admitted <= rate / 8.0 * now + burst + 1e-9
+
+
+vectors = st.builds(
+    ResourceVector,
+    st.floats(min_value=0, max_value=500),
+    st.floats(min_value=0, max_value=500),
+    st.floats(min_value=0, max_value=500),
+    st.floats(min_value=0, max_value=50),
+)
+
+
+@given(requests=st.lists(vectors, max_size=30))
+@settings(max_examples=100)
+def test_reservations_never_exceed_capacity(requests):
+    manager = ReservationManager("host", 1000.0, 1000.0, 1000.0, 100.0)
+    for vector in requests:
+        try:
+            manager.reserve(vector)
+        except ReservationError:
+            pass
+        reserved = manager.reserved
+        assert reserved.fits_within(manager.capacity)

@@ -1,0 +1,132 @@
+"""Stateful property test: the SODA Master under random operation mixes.
+
+Hypothesis drives random sequences of service creations, resizings and
+teardowns against the paper testbed; after every step the platform
+invariants must hold (reservation books balanced, IP pools consistent,
+billing open for exactly the hosted services, capacity never exceeded).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.auth import Credentials
+from repro.core.errors import SODAError
+from repro.image.profiles import paper_profiles
+
+
+class MasterMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.counter = 0
+        self.live = set()
+
+    @initialize()
+    def setup(self):
+        self.tb = build_paper_testbed(seed=0)
+        repo = self.tb.add_repository()
+        for image in paper_profiles().values():
+            repo.publish(image)
+        self.repo = repo
+        self.tb.agent.register_asp("acme", "supersecret")
+        self.creds = Credentials("acme", "supersecret")
+
+    # -- operations ---------------------------------------------------------
+    @rule(n=st.integers(min_value=1, max_value=3), image=st.sampled_from(["web-content", "honeypot"]))
+    def create(self, n, image):
+        name = f"svc-{self.counter}"
+        self.counter += 1
+        requirement = ResourceRequirement(n=n, machine=MachineConfig())
+        try:
+            self.tb.run(
+                self.tb.agent.service_creation(self.creds, name, self.repo, image, requirement)
+            )
+        except SODAError:
+            return  # admission failure is legal; invariants still checked
+        self.live.add(name)
+
+    @precondition(lambda self: self.live)
+    @rule(n=st.integers(min_value=1, max_value=4), pick=st.randoms())
+    def resize(self, n, pick):
+        name = sorted(self.live)[0]
+        try:
+            self.tb.run(self.tb.agent.service_resizing(self.creds, name, self.repo, n))
+        except SODAError:
+            return
+
+    @precondition(lambda self: self.live)
+    @rule()
+    def teardown_service(self):
+        # NB: not named ``teardown`` — that is RuleBasedStateMachine's
+        # unconditional end-of-run cleanup hook.
+        name = sorted(self.live)[-1]
+        self.tb.run(self.tb.agent.service_teardown(self.creds, name))
+        self.live.discard(name)
+
+    @precondition(lambda self: self.live)
+    @rule()
+    def crash_and_recover(self):
+        from repro.core.recovery import reboot_node
+
+        name = sorted(self.live)[0]
+        record = self.tb.master.get_service(name)
+        node = record.nodes[0]
+        if node.vm.is_running:
+            node.vm.crash(cause="chaos")
+            self.tb.run(reboot_node(self.tb.sim, node))
+
+    # -- invariants -------------------------------------------------------------
+    @invariant()
+    def books_balance(self):
+        if not hasattr(self, "tb"):
+            return
+        tb = self.tb
+        expected_nodes = sum(len(r.nodes) for r in tb.master.services.values())
+        live_reservations = sum(h.reservations.n_live for h in tb.hosts.values())
+        assert live_reservations == expected_nodes
+        assert set(tb.master.services) == self.live
+        assert tb.agent.ledger.n_open == len(self.live)
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        if not hasattr(self, "tb"):
+            return
+        for host in self.tb.hosts.values():
+            assert host.reservations.reserved.fits_within(host.reservations.capacity)
+            assert host.memory.free_mb >= -1e-9
+
+    @invariant()
+    def ip_pools_consistent(self):
+        if not hasattr(self, "tb"):
+            return
+        for name, daemon in self.tb.daemons.items():
+            node_ips = {
+                n.source_ip
+                for r in self.tb.master.services.values()
+                for n in r.nodes
+                if n.host.name == name
+            }
+            assert daemon.ip_pool.n_allocated == len(node_ips)
+            assert daemon.networking.n_nodes == len(node_ips)
+
+    @invariant()
+    def services_stay_serviceable(self):
+        if not hasattr(self, "tb"):
+            return
+        for record in self.tb.master.services.values():
+            assert record.is_running
+            assert record.switch is not None
+            assert record.switch.config.total_capacity == record.total_units
+
+
+TestMasterStateful = MasterMachine.TestCase
+TestMasterStateful.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)

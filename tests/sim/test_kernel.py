@@ -1,0 +1,401 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert fired == [2.5]
+    assert sim.now == 2.5
+
+
+def test_timeout_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1, value="payload")
+        got.append(value)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    log = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append(name)
+
+    sim.process(proc(sim, "late", 10))
+    sim.process(proc(sim, "early", 1))
+    sim.process(proc(sim, "mid", 5))
+    sim.run()
+    assert log == ["early", "mid", "late"]
+
+
+def test_same_time_ties_broken_by_scheduling_order():
+    sim = Simulator()
+    log = []
+
+    def proc(sim, name):
+        yield sim.timeout(3)
+        log.append(name)
+
+    for name in "abcd":
+        sim.process(proc(sim, name))
+    sim.run()
+    assert log == list("abcd")
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100)
+
+    sim.process(proc(sim))
+    sim.run(until=30)
+    assert sim.now == 30
+    sim.run(until=200)
+    assert sim.now == 200
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.run(until=10)
+    with pytest.raises(ValueError):
+        sim.run(until=5)
+
+
+def test_process_return_value_visible_to_waiter():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1)
+        return 42
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        results.append(value)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == [42]
+
+
+def test_waiting_on_already_finished_process():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1)
+        return "early"
+
+    def parent(sim, child_proc):
+        yield sim.timeout(10)
+        value = yield child_proc  # child finished long ago
+        results.append((sim.now, value))
+
+    child_proc = sim.process(child(sim))
+    sim.process(parent(sim, child_proc))
+    sim.run()
+    assert results == [(10.0, "early")]
+
+
+def test_process_failure_propagates_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("boom")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_failure_raises_when_strict():
+    sim = Simulator(catch_process_failures=False)
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise ValueError("unhandled")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="unhandled"):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 123
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_resumes_with_cause():
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt as interrupt:
+            log.append((sim.now, interrupt.cause))
+
+    def attacker(sim, target):
+        yield sim.timeout(5)
+        target.interrupt(cause="crash")
+
+    target = sim.process(victim(sim))
+    sim.process(attacker(sim, target))
+    sim.run()
+    assert log == [(5.0, "crash")]
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            pass
+        yield sim.timeout(2)
+        log.append(sim.now)
+
+    def attacker(sim, target):
+        yield sim.timeout(5)
+        target.interrupt()
+
+    target = sim.process(victim(sim))
+    sim.process(attacker(sim, target))
+    sim.run()
+    assert log == [7.0]
+
+
+def test_event_succeed_and_value():
+    sim = Simulator()
+    event = sim.event()
+    assert not event.triggered
+    event.succeed("v")
+    assert event.triggered
+    assert event.value == "v"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed()
+    with pytest.raises(SimulationError):
+        event.succeed()
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError())
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not-an-exception")
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        t1 = sim.timeout(2, value="a")
+        t2 = sim.timeout(5, value="b")
+        results = yield sim.all_of([t1, t2])
+        done.append((sim.now, sorted(results.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [(5.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        t1 = sim.timeout(2, value="fast")
+        t2 = sim.timeout(5, value="slow")
+        results = yield sim.any_of([t1, t2])
+        done.append((sim.now, list(results.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [(2.0, ["fast"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+
+
+def test_all_of_fails_if_member_fails():
+    sim = Simulator()
+    caught = []
+
+    def failer(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("member failed")
+
+    def waiter(sim, member):
+        try:
+            yield sim.all_of([member, sim.timeout(10)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    member = sim.process(failer(sim))
+    sim.process(waiter(sim, member))
+    sim.run()
+    assert caught == ["member failed"]
+
+
+def test_condition_rejects_foreign_events():
+    sim1, sim2 = Simulator(), Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(sim1, [sim2.timeout(1)])
+
+
+def test_run_until_process_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(3)
+        return "result"
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_process(p) == "result"
+    assert sim.now == 3.0
+
+
+def test_run_until_process_detects_deadlock():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()  # never triggered
+
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_process(p)
+
+
+def test_run_until_process_respects_limit():
+    sim = Simulator()
+
+    def slow(sim):
+        yield sim.timeout(1000)
+
+    p = sim.process(slow(sim))
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_process(p, limit=10)
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    sim.timeout(4)
+    assert sim.peek() == 4
+    sim.step()
+    assert sim.now == 4
+    assert sim.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_nested_process_chains():
+    sim = Simulator()
+
+    def nested(sim, depth):
+        yield sim.timeout(1)
+        if depth > 1:
+            yield sim.process(nested(sim, depth - 1))
+        return depth
+
+    def chain(sim):
+        value = yield sim.process(nested(sim, 5))
+        assert value == 5
+
+    sim.process(chain(sim))
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_active_process_tracking():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        seen.append(sim.active_process)
+        yield sim.timeout(1)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert seen == [p]
+    assert sim.active_process is None

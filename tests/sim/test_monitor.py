@@ -1,0 +1,117 @@
+"""Unit tests for Monitor and TimeWeightedMonitor."""
+
+import pytest
+
+from repro.sim import Monitor, TimeWeightedMonitor
+
+
+def test_monitor_basic_stats():
+    m = Monitor("rt")
+    for t, v in [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]:
+        m.record(t, v)
+    assert m.count == 4
+    assert len(m) == 4
+    assert m.mean() == pytest.approx(2.5)
+    assert m.min() == 1.0
+    assert m.max() == 4.0
+    assert m.total() == 10.0
+    assert m.percentile(50) == pytest.approx(2.5)
+
+
+def test_monitor_rejects_time_travel():
+    m = Monitor()
+    m.record(5, 1.0)
+    with pytest.raises(ValueError):
+        m.record(4, 1.0)
+
+
+def test_monitor_empty_stats_raise():
+    m = Monitor("empty")
+    for fn in (m.mean, m.std, m.min, m.max):
+        with pytest.raises(ValueError):
+            fn()
+    with pytest.raises(ValueError):
+        m.percentile(50)
+    assert m.total() == 0.0
+
+
+def test_monitor_percentile_validation():
+    m = Monitor()
+    m.record(0, 1.0)
+    with pytest.raises(ValueError):
+        m.percentile(101)
+
+
+def test_monitor_window():
+    m = Monitor()
+    for t in range(10):
+        m.record(t, float(t))
+    sub = m.window(3, 7)
+    assert sub.count == 4
+    assert sub.values == [3.0, 4.0, 5.0, 6.0]
+    with pytest.raises(ValueError):
+        m.window(7, 3)
+
+
+def test_monitor_series_arrays():
+    m = Monitor()
+    m.record(0, 1.0)
+    m.record(2, 5.0)
+    times, values = m.series()
+    assert times.tolist() == [0.0, 2.0]
+    assert values.tolist() == [1.0, 5.0]
+
+
+def test_time_weighted_average_constant():
+    tw = TimeWeightedMonitor(initial=3.0)
+    assert tw.time_average(0, 10) == pytest.approx(3.0)
+
+
+def test_time_weighted_average_step():
+    tw = TimeWeightedMonitor(initial=0.0)
+    tw.set(5, 10.0)  # 0 for [0,5), 10 for [5,10)
+    assert tw.time_average(0, 10) == pytest.approx(5.0)
+    assert tw.time_average(5, 10) == pytest.approx(10.0)
+    assert tw.current == 10.0
+
+
+def test_time_weighted_same_instant_overwrites():
+    tw = TimeWeightedMonitor(initial=0.0)
+    tw.set(5, 1.0)
+    tw.set(5, 2.0)
+    assert tw.time_average(5, 6) == pytest.approx(2.0)
+
+
+def test_time_weighted_rejects_time_travel():
+    tw = TimeWeightedMonitor()
+    tw.set(5, 1.0)
+    with pytest.raises(ValueError):
+        tw.set(4, 1.0)
+
+
+def test_time_weighted_empty_interval_rejected():
+    tw = TimeWeightedMonitor()
+    with pytest.raises(ValueError):
+        tw.time_average(5, 5)
+
+
+def test_bucket_averages():
+    tw = TimeWeightedMonitor(initial=0.0)
+    tw.set(10, 100.0)
+    centres, averages = tw.bucket_averages(0, 20, 10)
+    assert centres.tolist() == [5.0, 15.0]
+    assert averages.tolist() == [0.0, 100.0]
+
+
+def test_bucket_averages_validation():
+    tw = TimeWeightedMonitor()
+    with pytest.raises(ValueError):
+        tw.bucket_averages(0, 10, 0)
+    with pytest.raises(ValueError):
+        tw.bucket_averages(10, 0, 1)
+
+
+def test_segments_roundtrip():
+    tw = TimeWeightedMonitor(initial=1.0)
+    tw.set(2, 3.0)
+    assert tw.segments() == [(0.0, 1.0), (2.0, 3.0)]

@@ -1,0 +1,110 @@
+"""Tests for structured tracing."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.trace import TraceEvent, Tracer, trace
+
+
+def test_emit_records_time_and_fields():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        tracer.emit("demo", "tick", value=42)
+
+    sim.process(proc(sim))
+    sim.run()
+    events = tracer.events()
+    assert len(events) == 1
+    assert events[0].time == 2.5
+    assert events[0].category == "demo"
+    assert events[0].fields == {"value": 42}
+
+
+def test_category_filter_and_categories():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("a", "one")
+    tracer.emit("b", "two")
+    tracer.emit("a", "three")
+    assert len(tracer.events("a")) == 2
+    assert tracer.categories() == ["a", "b"]
+    assert len(tracer) == 3
+
+
+def test_capacity_drops_overflow():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=2)
+    for i in range(5):
+        tracer.emit("x", str(i))
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    with pytest.raises(ValueError):
+        Tracer(sim, capacity=0)
+
+
+def test_trace_helper_noop_without_tracer():
+    sim = Simulator()
+    trace(sim, "x", "dropped silently")  # must not raise
+
+
+def test_trace_helper_routes_to_attached_tracer():
+    sim = Simulator()
+    sim.tracer = Tracer(sim)
+    trace(sim, "x", "hello", n=1)
+    assert sim.tracer.events()[0].message == "hello"
+
+
+def test_render_format():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("priming", "node primed", node="web#0", ip="10.0.0.1")
+    line = tracer.render()
+    assert "priming" in line
+    assert "node primed" in line
+    assert "ip=10.0.0.1" in line
+
+
+def test_clear():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=1)
+    tracer.emit("x", "a")
+    tracer.emit("x", "b")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+
+
+def test_priming_pipeline_traced(web_service_tracer=None):
+    """End to end: a traced testbed records the full priming sequence."""
+    from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+    from repro.core.auth import Credentials
+    from repro.image.profiles import make_s1_web_content
+
+    testbed = build_paper_testbed(seed=5)
+    tracer = Tracer(testbed.sim)
+    testbed.sim.tracer = tracer
+    repo = testbed.add_repository()
+    repo.publish(make_s1_web_content())
+    testbed.agent.register_asp("acme", "supersecret")
+    creds = Credentials("acme", "supersecret")
+    requirement = ResourceRequirement(n=1, machine=MachineConfig())
+    testbed.run(
+        testbed.agent.service_creation(creds, "web", repo, "web-content", requirement)
+    )
+
+    messages = [e.message for e in tracer.events("priming")]
+    assert messages == [
+        "slice reserved",
+        "image downloaded",
+        "rootfs tailored",
+        "guest booted",
+        "node primed",
+    ]
+    master_messages = [e.message for e in tracer.events("master")]
+    assert master_messages == ["service admitted", "switch created"]
+    # Times are non-decreasing and the download precedes the boot.
+    times = [e.time for e in tracer.events()]
+    assert times == sorted(times)

@@ -1,0 +1,30 @@
+"""Shared fixtures for workload tests: a running web service on the
+paper testbed (Figure 2 layout when the honeypot is created first)."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+from repro.core.auth import Credentials
+from repro.image.profiles import paper_profiles
+from repro.workload.clients import ClientPool
+
+
+@pytest.fixture
+def web_service():
+    """(testbed, web record, honeypot record, client pool)."""
+    tb = build_paper_testbed(seed=11)
+    repo = tb.add_repository()
+    for image in paper_profiles().values():
+        repo.publish(image)
+    tb.agent.register_asp("acme", "supersecret")
+    creds = Credentials("acme", "supersecret")
+
+    def create(name, image, n):
+        req = ResourceRequirement(n=n, machine=MachineConfig())
+        tb.run(tb.agent.service_creation(creds, name, repo, image, req))
+        return tb.master.get_service(name)
+
+    honeypot = create("honeypot", "honeypot", 1)
+    web = create("web", "web-content", 3)  # 2M on seattle + 1M on tacoma
+    clients = ClientPool(tb.lan, n=4)
+    return tb, web, honeypot, clients

@@ -1,0 +1,87 @@
+"""Integration tests for the attack campaign (Figure 3 isolation)."""
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload.attack import AttackCampaign
+from repro.workload.siege import Siege
+
+
+def test_campaign_validation(web_service):
+    tb, web, honeypot, clients = web_service
+    attacker = tb.add_client("attacker")
+    campaign = AttackCampaign(tb.sim, honeypot.switch, attacker)
+    with pytest.raises(ValueError):
+        tb.run(campaign.run(waves=0))
+
+
+def test_attack_binds_shell_and_crashes_guest(web_service):
+    tb, web, honeypot, clients = web_service
+    attacker = tb.add_client("attacker")
+    campaign = AttackCampaign(tb.sim, honeypot.switch, attacker)
+    outcome = tb.run(campaign.run(waves=3))
+    assert outcome.waves == 3
+    assert outcome.shells_bound == 3
+    assert outcome.guest_crashes == 3
+    assert outcome.reboots == 3
+
+
+def test_attack_contained_to_guest(web_service):
+    """The paper's central isolation claim: guest root != host root."""
+    tb, web, honeypot, clients = web_service
+    attacker = tb.add_client("attacker")
+    campaign = AttackCampaign(
+        tb.sim, honeypot.switch, attacker,
+        siblings=[n for n in web.nodes if n.host.name == "seattle"],
+    )
+    outcome = tb.run(campaign.run(waves=5))
+    assert outcome.contained
+    assert outcome.host_compromises == 0
+    assert outcome.sibling_compromises == 0
+
+
+def test_web_service_unaffected_during_attack(web_service):
+    """§5: 'the honeypot service is constantly attacked and crashed.
+    However, the web content service is not affected.'"""
+    tb, web, honeypot, clients = web_service
+    attacker = tb.add_client("attacker")
+    campaign = AttackCampaign(tb.sim, honeypot.switch, attacker)
+    siege = Siege(tb.sim, web.switch, clients, RandomStreams(seed=4), dataset_mb=0.5)
+
+    attack_proc = tb.spawn(campaign.run(waves=4), name="attack")
+    report = tb.run(siege.run_open_loop(rate_rps=15.0, duration_s=20.0))
+    tb.sim.run_until_process(attack_proc)
+
+    assert report.failures == 0
+    assert report.completed > 100
+    for node in web.nodes:
+        assert node.vm.is_running
+        assert not node.vm.compromised
+
+
+def test_honeypot_serves_again_after_reboot(web_service):
+    tb, web, honeypot, clients = web_service
+    attacker = tb.add_client("attacker")
+    campaign = AttackCampaign(tb.sim, honeypot.switch, attacker)
+    tb.run(campaign.run(waves=1))
+    node = honeypot.nodes[0]
+    assert node.vm.is_running
+    assert node.vm.processes.find_by_command("ghttpd")
+    # And can be exploited again (it is a honeypot, after all).
+    outcome = tb.run(campaign.run(waves=1))
+    assert outcome.shells_bound == 1
+
+
+def test_ps_ef_shows_coexisting_guests(web_service):
+    """The Figure 3 screenshot: web's httpd and honeypot's ghttpd under
+    their own guest roots on the same host."""
+    tb, web, honeypot, clients = web_service
+    seattle_web = next(n for n in web.nodes if n.host.name == "seattle")
+    pot_node = honeypot.nodes[0]
+    assert pot_node.host.name == "seattle"
+    web_ps = seattle_web.vm.processes.ps_ef()
+    pot_ps = pot_node.vm.processes.ps_ef()
+    assert "httpd_19_5" in web_ps and "ghttpd" not in web_ps
+    assert "ghttpd-1.4" in pot_ps and "httpd_19_5" not in pot_ps
+    for ps in (web_ps, pot_ps):
+        assert "[kswapd]" in ps and "[bdflush]" in ps

@@ -1,0 +1,82 @@
+"""Tests for arrival-trace replay."""
+
+import pytest
+
+from repro.sim import RandomStreams
+from repro.workload.replay import ArrivalTrace, TraceReplay, diurnal_trace, poisson_trace
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        ArrivalTrace(((1.0, 0.1), (0.5, 0.1)))  # unsorted
+    with pytest.raises(ValueError):
+        ArrivalTrace(((-1.0, 0.1),))
+    with pytest.raises(ValueError):
+        ArrivalTrace(((1.0, -0.1),))
+    empty = ArrivalTrace(())
+    assert len(empty) == 0
+    assert empty.duration == 0.0
+
+
+def test_poisson_trace_rate():
+    streams = RandomStreams(seed=1)
+    trace = poisson_trace(streams, rate_rps=10.0, duration_s=200.0)
+    assert trace.rate_in(0, 200) == pytest.approx(10.0, rel=0.1)
+    with pytest.raises(ValueError):
+        poisson_trace(streams, rate_rps=0, duration_s=1)
+
+
+def test_diurnal_trace_peaks_and_troughs():
+    streams = RandomStreams(seed=2)
+    period = 100.0
+    trace = diurnal_trace(
+        streams, base_rps=5.0, peak_factor=4.0, period_s=period, duration_s=1000.0
+    )
+    # sin peaks at period/4 within each cycle, troughs at 3*period/4.
+    peak_rate = sum(
+        trace.rate_in(k * period + 15, k * period + 35) for k in range(10)
+    ) / 10
+    trough_rate = sum(
+        trace.rate_in(k * period + 65, k * period + 85) for k in range(10)
+    ) / 10
+    assert peak_rate > 2.5 * trough_rate
+    with pytest.raises(ValueError):
+        diurnal_trace(streams, 5.0, 0.5, 100.0, 10.0)
+
+
+def test_rate_in_validation():
+    trace = ArrivalTrace(((0.5, 0.1),))
+    with pytest.raises(ValueError):
+        trace.rate_in(1, 1)
+
+
+def test_replay_completes_every_arrival(web_service):
+    tb, web, honeypot, clients = web_service
+    streams = RandomStreams(seed=3)
+    trace = poisson_trace(streams, rate_rps=8.0, duration_s=10.0, dataset_mb=0.2)
+    replay = TraceReplay(tb.sim, web.switch, clients, trace)
+    report = tb.run(replay.run())
+    assert report.completed == len(trace)
+    assert report.failures == 0
+
+
+def test_replay_preserves_arrival_times(web_service):
+    tb, web, honeypot, clients = web_service
+    trace = ArrivalTrace(((1.0, 0.1), (5.0, 0.1), (9.0, 0.1)))
+    start = tb.now
+    replay = TraceReplay(tb.sim, web.switch, clients, trace)
+    report = tb.run(replay.run())
+    assert report.completed == 3
+    # The last response cannot arrive before the last recorded arrival.
+    assert tb.now >= start + 9.0
+
+
+def test_replay_counts_failures_when_service_down(web_service):
+    tb, web, honeypot, clients = web_service
+    for node in web.nodes:
+        node.vm.crash()
+    trace = ArrivalTrace(((0.1, 0.1), (0.2, 0.1)))
+    replay = TraceReplay(tb.sim, web.switch, clients, trace)
+    report = tb.run(replay.run())
+    assert report.failures == 2
+    assert report.completed == 0
