@@ -1,12 +1,15 @@
 # Convenience targets for the SODA reproduction.
 
-.PHONY: install test bench experiments report examples all
+.PHONY: install test lint bench experiments report examples all
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
+
+lint:
+	ruff check src/ tests/ examples/
 
 bench:
 	pytest benchmarks/ --benchmark-only
@@ -24,5 +27,6 @@ examples:
 	python examples/custom_switch_policy.py
 	python examples/capacity_planning.py
 	python examples/diurnal_autoscaler.py
+	python examples/sla_tiers.py
 
 all: test bench

@@ -43,6 +43,7 @@ from repro.core.errors import (
     AdmissionError,
     AuthenticationError,
     InvalidRequestError,
+    RequestSheddedError,
     ServiceNotFoundError,
     SODAError,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "RandomPolicy",
     "ReactiveAutoscaler",
     "Request",
+    "RequestSheddedError",
     "ResourceRequirement",
     "RoundRobinPolicy",
     "SLOWDOWN_INFLATION",

@@ -18,17 +18,20 @@ the ASP with information about the virtual service nodes created"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Generator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Generator, Optional, Tuple
 
 from repro.core.auth import ASPRegistry, Credentials
 from repro.core.billing import BillingLedger
-from repro.core.errors import AuthenticationError, ServiceNotFoundError
+from repro.core.errors import AuthenticationError
 from repro.core.master import SODAMaster
 from repro.core.policies import SwitchingPolicy
 from repro.core.requirements import ResourceRequirement
 from repro.core.service import ServiceRecord
 from repro.image.repository import ImageRepository
 from repro.sim.kernel import Event, Simulator
+
+if TYPE_CHECKING:  # keep core -> sla lazy (see repro.sla layering rule)
+    from repro.sla.contract import SLAContract
 
 __all__ = ["ServiceCreationReply", "SODAAgent"]
 
@@ -76,8 +79,14 @@ class SODAAgent:
         image_name: str,
         requirement: ResourceRequirement,
         policy: Optional[SwitchingPolicy] = None,
+        sla: Optional["SLAContract"] = None,
     ) -> Generator[Event, Any, ServiceCreationReply]:
-        """``SODA_service_creation`` (simulated-process step)."""
+        """``SODA_service_creation`` (simulated-process step).
+
+        ``sla`` optionally attaches a service-level agreement; omitted,
+        the service behaves exactly as before (no contract, no shedding,
+        no credits).
+        """
         account = self.registry.authenticate(credentials)
         yield self.sim.timeout(API_OVERHEAD_S)
         started = self.sim.now
@@ -88,6 +97,7 @@ class SODAAgent:
             image_name=image_name,
             requirement=requirement,
             policy=policy,
+            sla=sla,
         )
         self.ledger.service_started(
             service=service_name, asp=account.name, now=self.sim.now,
@@ -147,8 +157,14 @@ class SODAAgent:
         return self.master.get_service(service_name)
 
     def invoice(self, credentials: Credentials) -> float:
+        """Amount owed as of now: accrual net of any SLA credits."""
         account = self.registry.authenticate(credentials)
         return self.ledger.invoice(account.name, self.sim.now)
+
+    def sla_credit(self, credentials: Credentials) -> float:
+        """Total SLA credits earned by the calling ASP so far."""
+        account = self.registry.authenticate(credentials)
+        return self.ledger.credit_total(asp=account.name)
 
     def _check_ownership(self, asp_name: str, service_name: str) -> None:
         record = self.master.get_service(service_name)  # raises if unknown

@@ -12,7 +12,7 @@ running as the SODA Agent, SODA Master, and service clients".
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.agent import SODAAgent
 from repro.core.daemon import SODADaemon

@@ -6,11 +6,18 @@ simulated process that periodically inspects the service's recent mean
 response time and scales the ``<n, M>`` requirement up when the SLO is
 threatened and down when capacity sits idle — the elasticity loop every
 modern platform runs, built from nothing but the paper's own API.
+
+SLA integration: :meth:`ReactiveAutoscaler.notify_breach` queues a
+resize request from outside the latency loop (wired from an
+:class:`~repro.sla.monitor.SLOMonitor` through a
+:class:`~repro.sla.enforcement.BreachEscalator`); the next control
+period scales up even if the latency window alone would not, so
+sustained SLO violations force capacity instead of just credits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, List, Optional, Tuple
 
 from repro.core.agent import SODAAgent
@@ -80,6 +87,17 @@ class ReactiveAutoscaler:
         self.config = config
         self.decisions: List[ScalingDecision] = []
         self.capacity_timeline: List[Tuple[float, int]] = []
+        # SLA breach requests queued for the next control period.
+        self._pending_breaches: List[Any] = []
+
+    def notify_breach(self, violation: Any = None) -> None:
+        """Request a scale-up at the next control period (SLA hook).
+
+        ``violation`` is typically an :class:`~repro.sla.monitor.SLAViolation`
+        but any object (or None) is accepted; only its ``observed``
+        attribute, if present, is used for the audit trail.
+        """
+        self._pending_breaches.append(violation)
 
     def _recent_mean_response(self, window_start: float) -> Optional[float]:
         record = self.agent.master.get_service(self.service_name)
@@ -101,13 +119,19 @@ class ReactiveAutoscaler:
             window_start = self.sim.now
             yield self.sim.timeout(config.check_period_s)
             observed = self._recent_mean_response(window_start)
-            if observed is None:
+            breaches, self._pending_breaches = self._pending_breaches, []
+            if observed is None and not breaches:
                 continue
             record = self.agent.master.get_service(self.service_name)
             units = record.total_units
             target = None
             reason = ""
-            if observed > config.scale_up_at * config.target_response_s:
+            if breaches:
+                # A breach request overrides the latency heuristics: the
+                # SLO is already violated, never scale down now.
+                if units < config.max_units:
+                    target, reason = units + 1, "sla breach"
+            elif observed > config.scale_up_at * config.target_response_s:
                 if units < config.max_units:
                     target, reason = units + 1, "latency above threshold"
             elif observed < config.scale_down_at * config.target_response_s:
@@ -115,6 +139,10 @@ class ReactiveAutoscaler:
                     target, reason = units - 1, "capacity idle"
             if target is None:
                 continue
+            if observed is None:
+                # Breach-triggered with an empty latency window: audit
+                # with the violation's own observed value.
+                observed = float(getattr(breaches[-1], "observed", float("nan")))
             try:
                 yield from self.agent.service_resizing(
                     self.credentials, self.service_name, self.repository, target
@@ -140,3 +168,8 @@ class ReactiveAutoscaler:
     @property
     def scale_downs(self) -> int:
         return sum(1 for d in self.decisions if d.to_units < d.from_units)
+
+    @property
+    def breach_resizes(self) -> int:
+        """Resizes triggered by SLA breach notifications."""
+        return sum(1 for d in self.decisions if d.reason == "sla breach")

@@ -5,14 +5,18 @@ The SODA Agent "performs other administrative tasks such as billing"
 holding capacity for ``k`` machine instances M accrues
 ``k * rate_per_m_hour`` per hour of simulated time.  Resizing changes
 the accrual rate from the moment it takes effect.
+
+SLA settlement (see :mod:`repro.sla.penalties`) posts
+:class:`CreditNote` entries against the ledger; an invoice nets out
+gross accrual minus credits, floored at zero.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-__all__ = ["UsageSegment", "BillingLedger"]
+__all__ = ["UsageSegment", "CreditNote", "BillingLedger"]
 
 DEFAULT_RATE_PER_M_HOUR = 1.0  # currency units per machine-instance-hour
 
@@ -32,6 +36,21 @@ class UsageSegment:
         return (self.end - self.start) / 3600.0
 
 
+@dataclass(frozen=True)
+class CreditNote:
+    """One SLA credit posted against a service's charges."""
+
+    service: str
+    asp: str
+    issued_at: float
+    amount: float
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError(f"credit amount must be positive, got {self.amount}")
+
+
 class BillingLedger:
     """Accrues machine-instance-hours per service and invoices per ASP."""
 
@@ -41,6 +60,7 @@ class BillingLedger:
         self.rate_per_m_hour = rate_per_m_hour
         self._open: Dict[str, tuple] = {}  # service -> (asp, start, m_units)
         self._segments: List[UsageSegment] = []
+        self._credits: List[CreditNote] = []
 
     def service_started(self, service: str, asp: str, now: float, m_units: int) -> None:
         if service in self._open:
@@ -81,13 +101,47 @@ class BillingLedger:
             total += (now - start) / 3600.0 * m_units
         return total
 
-    def invoice(self, asp: str, now: float) -> float:
-        """Amount owed by ``asp`` as of ``now``."""
+    def gross(self, asp: str, now: float) -> float:
+        """Accrued charges of ``asp`` as of ``now``, before SLA credits."""
         total = sum(s.hours * s.m_units for s in self._segments if s.asp == asp)
         for service, (open_asp, start, m_units) in self._open.items():
             if open_asp == asp:
                 total += (now - start) / 3600.0 * m_units
         return total * self.rate_per_m_hour
+
+    def invoice(self, asp: str, now: float) -> float:
+        """Amount owed by ``asp`` as of ``now``: accrual net of credits."""
+        return max(0.0, self.gross(asp, now) - self.credit_total(asp=asp))
+
+    # -- SLA credits -----------------------------------------------------
+    def add_credit(
+        self, service: str, asp: str, now: float, amount: float, reason: str = ""
+    ) -> CreditNote:
+        """Post an SLA credit against ``service`` (see repro.sla.penalties)."""
+        note = CreditNote(
+            service=service, asp=asp, issued_at=now, amount=amount, reason=reason
+        )
+        self._credits.append(note)
+        return note
+
+    def credit_total(
+        self, asp: Optional[str] = None, service: Optional[str] = None
+    ) -> float:
+        """Total credits posted, optionally filtered by ASP and/or service."""
+        return sum(
+            note.amount
+            for note in self._credits
+            if (asp is None or note.asp == asp)
+            and (service is None or note.service == service)
+        )
+
+    def service_gross(self, service: str, now: float) -> float:
+        """One service's accrued charges as of ``now``, before credits."""
+        return self.machine_hours(service, now) * self.rate_per_m_hour
+
+    @property
+    def credits(self) -> List[CreditNote]:
+        return list(self._credits)
 
     @property
     def n_open(self) -> int:

@@ -13,6 +13,7 @@ __all__ = [
     "ServiceNotFoundError",
     "InvalidRequestError",
     "PrimingError",
+    "RequestSheddedError",
 ]
 
 
@@ -40,3 +41,8 @@ class InvalidRequestError(SODAError):
 
 class PrimingError(SODAError):
     """A SODA Daemon failed during service priming (§3.3)."""
+
+
+class RequestSheddedError(SODAError):
+    """The service switch dropped the request under load to protect
+    higher service classes (SLA class-priority shedding)."""

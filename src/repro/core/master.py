@@ -19,7 +19,7 @@ updated by the SODA Master to reflect the changes."
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional
 
 from repro.core.allocation import (
     PlacementStrategy,
@@ -44,6 +44,9 @@ from repro.image.repository import ImageRepository
 from repro.net.lan import LAN
 from repro.sim.kernel import Event, Simulator
 from repro.sim.trace import trace
+
+if TYPE_CHECKING:  # imported lazily at call sites to keep core -> sla acyclic
+    from repro.sla.contract import SLAContract
 
 __all__ = ["SODAMaster"]
 
@@ -97,12 +100,22 @@ class SODAMaster:
         image_name: str,
         requirement: ResourceRequirement,
         policy: Optional[SwitchingPolicy] = None,
+        sla: Optional["SLAContract"] = None,
     ) -> Generator[Event, Any, ServiceRecord]:
-        """Admit, prime (in parallel across hosts) and switch a service."""
+        """Admit, prime (in parallel across hosts) and switch a service.
+
+        With an ``sla`` contract, admission additionally rejects
+        objectives infeasible for the requested ``<n, M>``, and the
+        created switch sheds load by service class under saturation.
+        """
         if service_name in self.services:
             raise InvalidRequestError(f"service {service_name!r} already hosted")
         if image_name not in repository:
             raise InvalidRequestError(f"image {image_name!r} not published")
+        if sla is not None:
+            from repro.sla.enforcement import check_admissible
+
+            check_admissible(sla, requirement)
         plan = plan_allocation(
             requirement, self.collect_availability(), self.strategy, self.inflation
         )
@@ -117,6 +130,7 @@ class SODAMaster:
             image_name=image_name,
             requirement=requirement,
             created_at=self.sim.now,
+            sla=sla,
         )
         self.services[service_name] = record
         record.transition(ServiceState.PRIMING)
@@ -159,7 +173,6 @@ class SODAMaster:
         record.nodes = nodes
 
         # Service configuration file + switch (§3.4, Table 3).
-        image = repository.get(image_name)
         config = ServiceConfigFile(service_name)
         for node in record.nodes:
             config.add_backend(node.endpoint.ip, node.endpoint.port, node.units)
@@ -172,6 +185,10 @@ class SODAMaster:
             policy=policy,
             home_node=record.nodes[0],
         )
+        if sla is not None:
+            from repro.sla.enforcement import ClassPriorityShedder
+
+            record.switch.shedder = ClassPriorityShedder(sla.service_class)
         record.transition(ServiceState.RUNNING)
         record.primed_at = self.sim.now
         trace(

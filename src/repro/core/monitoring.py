@@ -60,6 +60,8 @@ class ServiceStatus:
     nodes: List[NodeStatus]
     switch_dispatched: int
     switch_rejected: int
+    switch_shedded: int = 0
+    sla_class: Optional[str] = None
 
     @property
     def healthy_nodes(self) -> int:
@@ -119,6 +121,8 @@ class HUPMonitor:
             nodes=self.node_status(record),
             switch_dispatched=record.switch.dispatched if record.switch else 0,
             switch_rejected=record.switch.rejected if record.switch else 0,
+            switch_shedded=record.switch.shedded if record.switch else 0,
+            sla_class=record.sla.service_class.value if record.sla else None,
         )
 
     def platform_status(self) -> List[HostStatus]:

@@ -18,7 +18,7 @@ speed — exactly the intent of the paper's inflation factor
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from repro.core.errors import SODAError
@@ -27,7 +27,7 @@ from repro.guestos.uml import UML_NETWORK_EFFICIENCY, UserModeLinux
 from repro.host.bridge import Endpoint, ProxyModule
 from repro.host.reservation import Reservation
 from repro.host.traffic import TrafficShaper
-from repro.net.http import TCP_EFFICIENCY, REQUEST_SIZE_MB
+from repro.net.http import TCP_EFFICIENCY
 from repro.net.lan import LAN
 from repro.sim.kernel import Event, Simulator
 from repro.sim.monitor import Monitor

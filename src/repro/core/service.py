@@ -8,12 +8,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.errors import SODAError
 from repro.core.node import VirtualServiceNode
 from repro.core.requirements import ResourceRequirement
 from repro.core.switch import ServiceSwitch
+
+if TYPE_CHECKING:  # avoid a hard core -> sla dependency at import time
+    from repro.sla.contract import SLAContract
 
 __all__ = ["ServiceState", "ServiceRecord"]
 
@@ -48,6 +51,7 @@ class ServiceRecord:
     switch: Optional[ServiceSwitch] = None
     created_at: Optional[float] = None
     primed_at: Optional[float] = None
+    sla: Optional["SLAContract"] = None
 
     def transition(self, new_state: ServiceState) -> None:
         if new_state not in _TRANSITIONS[self.state]:

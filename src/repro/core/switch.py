@@ -20,14 +20,20 @@ The serving path modelled per request:
 
 Crashed nodes are skipped at dispatch time; if no healthy node remains
 the request fails with :class:`ServiceUnavailableError`.
+
+SLA hooks (extension): a shedder installed by the SODA Master drops
+requests when backlog saturates (class-priority load shedding, bronze
+first — see :mod:`repro.sla.enforcement`), and outcome listeners (e.g.
+an :class:`~repro.sla.monitor.SLOMonitor`) receive every per-request
+outcome — ``(time, latency, "ok" | "failed" | "shed")`` — as it happens.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.config import ServiceConfigFile
-from repro.core.errors import SODAError
+from repro.core.errors import RequestSheddedError, SODAError
 from repro.core.node import (
     NodeResponse,
     Request,
@@ -76,8 +82,24 @@ class ServiceSwitch:
         self._dispatcher = Resource(sim, capacity=1)
         self.dispatched = 0
         self.rejected = 0
+        self.shedded = 0
         self.response_times = Monitor(f"switch:{service_name}")
         self.per_node_count: Dict[str, int] = {n.name: 0 for n in nodes}
+        # SLA hooks: a shedder decides drops under load; outcome
+        # listeners tap the per-request outcome stream.
+        self.shedder: Optional[Any] = None
+        self._outcome_listeners: List[Callable[[float, Optional[float], str], None]] = []
+
+    # -- SLA hooks (extension) ----------------------------------------------
+    def add_outcome_listener(
+        self, listener: Callable[[float, Optional[float], str], None]
+    ) -> None:
+        """Subscribe ``listener(time, latency_s, outcome)`` to every request."""
+        self._outcome_listeners.append(listener)
+
+    def _notify(self, latency_s: Optional[float], outcome: str) -> None:
+        for listener in self._outcome_listeners:
+            listener(self.sim.now, latency_s, outcome)
 
     # -- policy management (the ASP-facing hook, §3.4) -----------------------
     def set_policy(self, policy: SwitchingPolicy) -> None:
@@ -150,6 +172,14 @@ class ServiceSwitch:
             label=f"switch:{self.service_name}:in",
         )
         yield inbound.done
+        # SLA class-priority shedding: drop at ingress while backlog
+        # saturates, before the request consumes a dispatcher slot.
+        if self.shedder is not None and self.shedder.should_shed(self):
+            self.shedded += 1
+            self._notify(None, "shed")
+            raise RequestSheddedError(
+                f"service {self.service_name!r} shed a request under load"
+            )
         # 2. Switch processing (serialised).
         slot = self._dispatcher.request()
         try:
@@ -157,7 +187,11 @@ class ServiceSwitch:
             yield self.sim.timeout(
                 SWITCH_CPU_MCYCLES / self.home_node.host.cpu_mhz
             )
-            backend = self.select(request)
+            try:
+                backend = self.select(request)
+            except ServiceUnavailableError:
+                self._notify(None, "failed")
+                raise
         finally:
             self._dispatcher.release(slot)
         # 3. Forward to the back-end (loopback when co-located).
@@ -175,6 +209,9 @@ class ServiceSwitch:
             )
         except SODAError:
             self.rejected += 1
+            self._notify(None, "failed")
             raise
-        self.response_times.record(self.sim.now, self.sim.now - started)
+        elapsed = self.sim.now - started
+        self.response_times.record(self.sim.now, elapsed)
+        self._notify(elapsed, "ok")
         return response

@@ -16,7 +16,6 @@ from repro.core.allocation import PlacementStrategy, plan_allocation
 from repro.core.errors import AdmissionError
 from repro.core.requirements import MachineConfig, ResourceRequirement
 from repro.host.machine import make_seattle, make_tacoma
-from repro.host.reservation import ResourceVector
 from repro.metrics.report import ExperimentResult
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams

@@ -13,7 +13,7 @@ from repro.guestos.rootfs import RootFilesystem
 from repro.guestos.services import default_registry
 from repro.guestos.uml import UserModeLinux
 from repro.host.machine import make_seattle, make_tacoma
-from repro.image.profiles import make_s1_web_content, make_s4_full_server
+from repro.image.profiles import make_s1_web_content
 from repro.metrics.report import ExperimentResult
 from repro.sim.kernel import Simulator
 

@@ -9,8 +9,8 @@ paper screenshots in Figure 3 to show two co-existing nodes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 __all__ = ["ProcessState", "GuestProcess", "ProcessTable"]
 

@@ -23,7 +23,7 @@ notorious slow starters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 __all__ = ["SystemService", "ServiceRegistry", "SharedLibrary", "default_registry"]

@@ -12,8 +12,8 @@ replication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.guestos.rootfs import RootFilesystem
 from repro.image.rpm import RpmPackage, total_size_mb

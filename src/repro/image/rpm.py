@@ -10,7 +10,7 @@ installable), and file lists (so the rootfs gains the app's files).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 __all__ = ["DependencyError", "RpmPackage", "resolve_dependencies"]

@@ -10,7 +10,7 @@ regenerate the paper's tables and figures.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -1,0 +1,172 @@
+"""Service-level agreements: contracts, classes and objectives.
+
+The paper's utility-platform framing presumes ASPs buy *guaranteed*
+capacity — the Agent "performs other administrative tasks such as
+billing" (§2.2) — yet a raw ``<n, M>`` reservation says nothing about
+what the ASP was promised.  An :class:`SLAContract` is that missing
+promise: a service class (gold/silver/bronze), latency percentile
+objectives over sliding breach windows, an availability floor, a
+throughput floor, and a penalty schedule that converts breaches into
+billing credits (see :mod:`repro.sla.penalties`).
+
+This module is deliberately free of any dependency on the core control
+plane so that contracts can be constructed, validated and serialised
+without a simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "ServiceClass",
+    "LatencyObjective",
+    "PenaltySchedule",
+    "SLAContract",
+]
+
+
+class ServiceClass(enum.Enum):
+    """Contract tier; decides shedding order under platform pressure."""
+
+    GOLD = "gold"
+    SILVER = "silver"
+    BRONZE = "bronze"
+
+    @property
+    def shed_rank(self) -> int:
+        """Lower rank is shed first (bronze before silver before gold)."""
+        return _SHED_RANK[self]
+
+    @property
+    def queue_tolerance(self) -> int:
+        """Multiplier on the shed queue limit: higher classes tolerate
+        deeper backlogs before their traffic is dropped."""
+        return _QUEUE_TOLERANCE[self]
+
+
+_SHED_RANK = {ServiceClass.BRONZE: 0, ServiceClass.SILVER: 1, ServiceClass.GOLD: 2}
+_QUEUE_TOLERANCE = {ServiceClass.BRONZE: 1, ServiceClass.SILVER: 2, ServiceClass.GOLD: 4}
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """``p<percentile> <= threshold_s`` over a sliding breach window."""
+
+    percentile: float
+    threshold_s: float
+    window_s: float = 30.0
+    min_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {self.percentile}")
+        if self.threshold_s <= 0:
+            raise ValueError(f"threshold must be positive, got {self.threshold_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"window must be positive, got {self.window_s}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+    def __str__(self) -> str:
+        return f"p{self.percentile:g} <= {self.threshold_s:g}s over {self.window_s:g}s"
+
+
+@dataclass(frozen=True)
+class PenaltySchedule:
+    """How breaches turn into money.
+
+    Each recorded :class:`~repro.sla.monitor.SLAViolation` earns the ASP
+    ``credit_per_violation`` currency units, capped so the total credit
+    for a service never exceeds ``cap_fraction`` of the charges the
+    service has accrued — an SLA refunds a bill, it never inverts it.
+    """
+
+    credit_per_violation: float = 0.05
+    cap_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.credit_per_violation < 0:
+            raise ValueError(
+                f"credit cannot be negative: {self.credit_per_violation}"
+            )
+        if not 0 <= self.cap_fraction <= 1:
+            raise ValueError(f"cap_fraction must be in [0, 1], got {self.cap_fraction}")
+
+
+@dataclass(frozen=True)
+class SLAContract:
+    """The promise attached to one hosted service.
+
+    ``window_s``/``min_samples`` govern the availability and throughput
+    floors; each latency objective carries its own window.
+    """
+
+    service_class: ServiceClass
+    latency: Tuple[LatencyObjective, ...] = ()
+    availability_floor: Optional[float] = None
+    throughput_floor_rps: Optional[float] = None
+    penalties: PenaltySchedule = field(default_factory=PenaltySchedule)
+    window_s: float = 30.0
+    min_samples: int = 5
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.service_class, ServiceClass):
+            raise ValueError(f"not a service class: {self.service_class!r}")
+        if isinstance(self.latency, LatencyObjective):
+            object.__setattr__(self, "latency", (self.latency,))
+        if self.availability_floor is not None and not 0 < self.availability_floor <= 1:
+            raise ValueError(
+                f"availability floor must be in (0, 1], got {self.availability_floor}"
+            )
+        if self.throughput_floor_rps is not None and self.throughput_floor_rps <= 0:
+            raise ValueError(
+                f"throughput floor must be positive, got {self.throughput_floor_rps}"
+            )
+        if self.window_s <= 0:
+            raise ValueError(f"window must be positive, got {self.window_s}")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if not self.latency and self.availability_floor is None and (
+            self.throughput_floor_rps is None
+        ):
+            raise ValueError("contract declares no objective at all")
+
+    @property
+    def has_latency_objective(self) -> bool:
+        return bool(self.latency)
+
+    # -- presets ----------------------------------------------------------
+    @classmethod
+    def gold(cls, p95_s: float = 0.5, window_s: float = 30.0) -> "SLAContract":
+        """Premium tier: tight latency, high availability, rich credits."""
+        return cls(
+            service_class=ServiceClass.GOLD,
+            latency=(LatencyObjective(95.0, p95_s, window_s=window_s),),
+            availability_floor=0.99,
+            penalties=PenaltySchedule(credit_per_violation=0.10),
+            window_s=window_s,
+        )
+
+    @classmethod
+    def silver(cls, p95_s: float = 1.5, window_s: float = 30.0) -> "SLAContract":
+        """Mid tier: looser latency, modest credits."""
+        return cls(
+            service_class=ServiceClass.SILVER,
+            latency=(LatencyObjective(95.0, p95_s, window_s=window_s),),
+            availability_floor=0.95,
+            penalties=PenaltySchedule(credit_per_violation=0.05),
+            window_s=window_s,
+        )
+
+    @classmethod
+    def bronze(cls, p95_s: float = 5.0, window_s: float = 30.0) -> "SLAContract":
+        """Best-effort tier: shed first, token credits."""
+        return cls(
+            service_class=ServiceClass.BRONZE,
+            latency=(LatencyObjective(95.0, p95_s, window_s=window_s),),
+            penalties=PenaltySchedule(credit_per_violation=0.01),
+            window_s=window_s,
+        )

@@ -1,0 +1,102 @@
+"""Per-service SLA compliance reporting.
+
+Summarises one monitored service — outcome counts, violation counts by
+kind, gross charges, SLA credits, net — and renders the whole platform
+view as a :class:`~repro.metrics.report.ExperimentResult`, so the
+existing CSV pipeline (:mod:`repro.metrics.export`) exports compliance
+summaries with no new machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.billing import BillingLedger
+from repro.metrics.export import export_all
+from repro.metrics.report import ExperimentResult
+from repro.sla.monitor import SLOMonitor
+
+__all__ = ["ComplianceSummary", "compliance_summary", "compliance_result", "export_compliance"]
+
+
+@dataclass(frozen=True)
+class ComplianceSummary:
+    """One service's SLA scorecard as of one instant."""
+
+    service: str
+    asp: str
+    service_class: str
+    requests_ok: int
+    requests_failed: int
+    requests_shed: int
+    violations_latency: int
+    violations_availability: int
+    violations_throughput: int
+    gross: float
+    credit: float
+
+    @property
+    def violations_total(self) -> int:
+        return (
+            self.violations_latency
+            + self.violations_availability
+            + self.violations_throughput
+        )
+
+    @property
+    def net(self) -> float:
+        return max(0.0, self.gross - self.credit)
+
+    @property
+    def requests_total(self) -> int:
+        return self.requests_ok + self.requests_failed + self.requests_shed
+
+    @property
+    def success_fraction(self) -> float:
+        return self.requests_ok / self.requests_total if self.requests_total else 1.0
+
+
+def compliance_summary(
+    monitor: SLOMonitor, asp: str, ledger: BillingLedger, now: float
+) -> ComplianceSummary:
+    """Fold one monitor's state and the ledger into a scorecard."""
+    return ComplianceSummary(
+        service=monitor.service_name,
+        asp=asp,
+        service_class=monitor.contract.service_class.value,
+        requests_ok=monitor.total_ok,
+        requests_failed=monitor.total_failed,
+        requests_shed=monitor.total_shed,
+        violations_latency=len(monitor.violations_of("latency")),
+        violations_availability=len(monitor.violations_of("availability")),
+        violations_throughput=len(monitor.violations_of("throughput")),
+        gross=ledger.service_gross(monitor.service_name, now),
+        credit=ledger.credit_total(service=monitor.service_name),
+    )
+
+
+def compliance_result(summaries: Sequence[ComplianceSummary]) -> ExperimentResult:
+    """Render scorecards as an ExperimentResult table (CSV-exportable)."""
+    result = ExperimentResult(
+        experiment_id="sla_compliance",
+        title="Per-service SLA compliance",
+        headers=[
+            "service", "class", "ok", "failed", "shed",
+            "viol_latency", "viol_avail", "viol_tput",
+            "gross", "credit", "net",
+        ],
+    )
+    for s in summaries:
+        result.add_row(
+            s.service, s.service_class, s.requests_ok, s.requests_failed,
+            s.requests_shed, s.violations_latency, s.violations_availability,
+            s.violations_throughput, f"{s.gross:.6f}", f"{s.credit:.6f}",
+            f"{s.net:.6f}",
+        )
+    return result
+
+
+def export_compliance(summaries: Sequence[ComplianceSummary]) -> Dict[str, str]:
+    """CSV documents for the compliance table, keyed by filename."""
+    return export_all(compliance_result(summaries))

@@ -18,13 +18,12 @@ keep being attacked).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, List, Optional
 
 from repro.core.errors import SODAError
 from repro.core.node import ExploitSucceeded, ServiceUnavailableError, VirtualServiceNode
 from repro.core.switch import ServiceSwitch
-from repro.guestos.uml import UmlState, UserModeLinux
 from repro.net.lan import NetworkInterface
 from repro.sim.kernel import Event, Simulator
 from repro.workload.apps import honeypot_probe_request

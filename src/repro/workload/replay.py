@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Generator, List, Sequence, Tuple
+from typing import Any, Generator, List, Tuple
 
 from repro.core.errors import SODAError
 from repro.core.switch import ServiceSwitch

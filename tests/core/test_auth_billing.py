@@ -115,3 +115,49 @@ def test_billing_segments_exposed():
     segments = ledger.segments
     assert len(segments) == 1
     assert segments[0].hours == pytest.approx(1.0)
+
+
+# ----------------------------------------------------- billing edge cases
+def test_billing_resize_at_start_yields_zero_duration_segment():
+    """A resize at the very instant the service started closes a
+    zero-duration segment without charging for it."""
+    ledger = BillingLedger()
+    ledger.service_started("web", "asp", now=HOUR, m_units=1)
+    ledger.service_resized("web", now=HOUR, m_units=3)
+    (segment,) = ledger.segments
+    assert segment.start == segment.end == HOUR
+    assert segment.hours == 0.0
+    assert ledger.machine_hours("web", now=2 * HOUR) == pytest.approx(3.0)
+
+
+def test_billing_back_to_back_resizes_at_same_instant():
+    ledger = BillingLedger()
+    ledger.service_started("web", "asp", now=0.0, m_units=1)
+    ledger.service_resized("web", now=HOUR, m_units=2)
+    ledger.service_resized("web", now=HOUR, m_units=4)  # immediate re-resize
+    ledger.service_stopped("web", now=2 * HOUR)
+    # 1 unit-hour, a zero-duration segment at 2 units, then 4 unit-hours.
+    assert ledger.machine_hours("web", now=2 * HOUR) == pytest.approx(5.0)
+    assert [s.m_units for s in ledger.segments] == [1, 2, 4]
+    assert ledger.segments[1].hours == 0.0
+
+
+def test_billing_invoice_totals_across_multiple_resizes():
+    ledger = BillingLedger(rate_per_m_hour=2.0)
+    ledger.service_started("web", "asp", now=0.0, m_units=1)
+    ledger.service_resized("web", now=HOUR, m_units=3)      # +3 for one hour
+    ledger.service_resized("web", now=2 * HOUR, m_units=2)  # +2 for one hour
+    # Open segment at 2 units: invoice reflects every segment plus the
+    # still-open tail, at the configured rate.
+    expected_hours = 1.0 * 1 + 1.0 * 3 + 1.0 * 2
+    assert ledger.machine_hours("web", now=3 * HOUR) == pytest.approx(expected_hours)
+    assert ledger.invoice("asp", now=3 * HOUR) == pytest.approx(2.0 * expected_hours)
+    ledger.service_stopped("web", now=3 * HOUR)
+    assert ledger.invoice("asp", now=5 * HOUR) == pytest.approx(2.0 * expected_hours)
+
+
+def test_billing_resize_rejects_time_travel():
+    ledger = BillingLedger()
+    ledger.service_started("web", "asp", now=HOUR, m_units=1)
+    with pytest.raises(ValueError, match="ends before it starts"):
+        ledger.service_resized("web", now=0.0, m_units=2)

@@ -86,6 +86,31 @@ def test_watchdog_ignores_torn_down_nodes(testbed):
     assert watchdog.reboots == 0
 
 
+def test_crashed_node_gets_no_dispatches_until_rebooted(testbed):
+    """The switch must skip a crashed node entirely until its in-place
+    reboot completes, then resume dispatching to it."""
+    # n=4 spans both hosts: two virtual service nodes behind the switch.
+    _, record = create_service(testbed, name="web", n=4)
+    assert len(record.nodes) == 2
+    healthy, crashed = record.nodes[0], record.nodes[1]
+    client = testbed.add_client("c1")
+
+    crashed.vm.crash(cause="fault")
+    frozen = record.switch.per_node_count[crashed.name]
+    for _ in range(6):
+        testbed.run(record.switch.serve(make_request(client)))
+    # Every dispatch during the outage went to the surviving node.
+    assert record.switch.per_node_count[crashed.name] == frozen
+    assert record.switch.per_node_count[healthy.name] >= 6
+
+    testbed.run(reboot_node(testbed.sim, crashed))
+    assert crashed.is_available
+    for _ in range(6):
+        testbed.run(record.switch.serve(make_request(client)))
+    # Dispatches reach the rebooted node again.
+    assert record.switch.per_node_count[crashed.name] > frozen
+
+
 def test_watchdog_validation(testbed):
     _, record = create_service(testbed, name="web", n=1)
     with pytest.raises(ValueError):

@@ -1,0 +1,96 @@
+"""Unit tests for SLA contract dataclasses and validation."""
+
+import pytest
+
+from repro.sla import LatencyObjective, PenaltySchedule, ServiceClass, SLAContract
+
+
+# ------------------------------------------------------------ service class
+def test_shed_rank_orders_bronze_first():
+    assert ServiceClass.BRONZE.shed_rank < ServiceClass.SILVER.shed_rank
+    assert ServiceClass.SILVER.shed_rank < ServiceClass.GOLD.shed_rank
+
+
+def test_queue_tolerance_grows_with_class():
+    assert (
+        ServiceClass.BRONZE.queue_tolerance
+        < ServiceClass.SILVER.queue_tolerance
+        < ServiceClass.GOLD.queue_tolerance
+    )
+
+
+# ------------------------------------------------------------ objectives
+def test_latency_objective_validation():
+    LatencyObjective(95.0, 0.5)
+    with pytest.raises(ValueError):
+        LatencyObjective(0.0, 0.5)
+    with pytest.raises(ValueError):
+        LatencyObjective(101.0, 0.5)
+    with pytest.raises(ValueError):
+        LatencyObjective(95.0, 0.0)
+    with pytest.raises(ValueError):
+        LatencyObjective(95.0, 0.5, window_s=0)
+    with pytest.raises(ValueError):
+        LatencyObjective(95.0, 0.5, min_samples=0)
+
+
+def test_latency_objective_str():
+    assert str(LatencyObjective(95.0, 0.5, window_s=30.0)) == "p95 <= 0.5s over 30s"
+
+
+def test_penalty_schedule_validation():
+    PenaltySchedule(credit_per_violation=0.0)  # free-tier SLA is legal
+    with pytest.raises(ValueError):
+        PenaltySchedule(credit_per_violation=-0.1)
+    with pytest.raises(ValueError):
+        PenaltySchedule(cap_fraction=1.5)
+
+
+# ------------------------------------------------------------ contracts
+def test_contract_requires_some_objective():
+    with pytest.raises(ValueError, match="no objective"):
+        SLAContract(service_class=ServiceClass.GOLD)
+
+
+def test_contract_coerces_single_objective_to_tuple():
+    contract = SLAContract(
+        service_class=ServiceClass.GOLD, latency=LatencyObjective(95.0, 0.5)
+    )
+    assert contract.latency == (LatencyObjective(95.0, 0.5),)
+    assert contract.has_latency_objective
+
+
+def test_contract_validation():
+    with pytest.raises(ValueError):
+        SLAContract(service_class="gold", latency=(LatencyObjective(95.0, 0.5),))
+    with pytest.raises(ValueError):
+        SLAContract(service_class=ServiceClass.GOLD, availability_floor=0.0)
+    with pytest.raises(ValueError):
+        SLAContract(service_class=ServiceClass.GOLD, availability_floor=1.2)
+    with pytest.raises(ValueError):
+        SLAContract(service_class=ServiceClass.GOLD, throughput_floor_rps=0.0)
+    with pytest.raises(ValueError):
+        SLAContract(
+            service_class=ServiceClass.GOLD,
+            latency=(LatencyObjective(95.0, 0.5),),
+            window_s=0.0,
+        )
+    with pytest.raises(ValueError):
+        SLAContract(
+            service_class=ServiceClass.GOLD,
+            latency=(LatencyObjective(95.0, 0.5),),
+            min_samples=0,
+        )
+
+
+def test_presets():
+    gold, silver, bronze = SLAContract.gold(), SLAContract.silver(), SLAContract.bronze()
+    assert gold.service_class is ServiceClass.GOLD
+    assert silver.service_class is ServiceClass.SILVER
+    assert bronze.service_class is ServiceClass.BRONZE
+    # Gold promises more and is compensated more.
+    assert gold.latency[0].threshold_s < silver.latency[0].threshold_s
+    assert silver.latency[0].threshold_s < bronze.latency[0].threshold_s
+    assert gold.penalties.credit_per_violation > bronze.penalties.credit_per_violation
+    assert gold.availability_floor > silver.availability_floor
+    assert bronze.availability_floor is None

@@ -1,0 +1,172 @@
+"""Unit tests for the SLO monitor's sliding-window evaluation."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sla import LatencyObjective, ServiceClass, SLAContract, SLOMonitor
+from tests.sla.conftest import create_sla_service
+
+
+def latency_contract(threshold_s=0.5, window_s=10.0, min_samples=3):
+    return SLAContract(
+        service_class=ServiceClass.GOLD,
+        latency=(LatencyObjective(95.0, threshold_s, window_s=window_s,
+                                  min_samples=min_samples),),
+    )
+
+
+def make_monitor(contract, **kwargs):
+    return SLOMonitor(Simulator(), "svc", contract, **kwargs)
+
+
+# ---------------------------------------------------------------- latency
+def test_no_violation_below_min_samples():
+    monitor = make_monitor(latency_contract(min_samples=5))
+    for t in range(4):
+        monitor.observe(float(t), 9.9, "ok")
+    assert monitor.evaluate(now=4.0) == []
+
+
+def test_latency_violation_detected():
+    monitor = make_monitor(latency_contract(threshold_s=0.5))
+    for t in range(5):
+        monitor.observe(float(t), 1.0, "ok")
+    violations = monitor.evaluate(now=5.0)
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.kind == "latency"
+    assert v.observed == pytest.approx(1.0)
+    assert v.limit == 0.5
+    assert v.service == "svc"
+    assert "p95" in str(v)
+
+
+def test_latency_ok_under_threshold():
+    monitor = make_monitor(latency_contract(threshold_s=0.5))
+    for t in range(5):
+        monitor.observe(float(t), 0.1, "ok")
+    assert monitor.evaluate(now=5.0) == []
+
+
+def test_old_samples_roll_out_of_window():
+    monitor = make_monitor(latency_contract(threshold_s=0.5, window_s=10.0))
+    for t in range(5):
+        monitor.observe(float(t), 2.0, "ok")  # slow burst at t=0..4
+    # At t=20 the burst is outside the 10 s window: nothing to judge.
+    assert monitor.evaluate(now=20.0) == []
+
+
+# ------------------------------------------------------------ availability
+def test_availability_counts_failures_and_sheds():
+    contract = SLAContract(
+        service_class=ServiceClass.SILVER,
+        availability_floor=0.9,
+        window_s=10.0,
+        min_samples=4,
+    )
+    monitor = make_monitor(contract)
+    monitor.observe(1.0, 0.1, "ok")
+    monitor.observe(2.0, 0.1, "ok")
+    monitor.observe(3.0, None, "failed")
+    monitor.observe(4.0, None, "shed")
+    violations = monitor.evaluate(now=5.0)
+    assert [v.kind for v in violations] == ["availability"]
+    assert violations[0].observed == pytest.approx(0.5)
+
+
+def test_availability_ok_above_floor():
+    contract = SLAContract(
+        service_class=ServiceClass.SILVER, availability_floor=0.5,
+        window_s=10.0, min_samples=2,
+    )
+    monitor = make_monitor(contract)
+    monitor.observe(1.0, 0.1, "ok")
+    monitor.observe(2.0, 0.1, "ok")
+    monitor.observe(3.0, None, "failed")
+    assert monitor.evaluate(now=4.0) == []
+
+
+# ------------------------------------------------------------- throughput
+def test_throughput_violation_needs_demand():
+    contract = SLAContract(
+        service_class=ServiceClass.GOLD, throughput_floor_rps=1.0, window_s=10.0,
+    )
+    monitor = make_monitor(contract)
+    # Two requests in 10 s: demand 0.2 rps < floor -> quiet period, no breach.
+    monitor.observe(1.0, 0.1, "ok")
+    monitor.observe(2.0, None, "shed")
+    assert monitor.evaluate(now=5.0) == []
+    # 12 more sheds: demand 1.4 rps >= floor, goodput 0.1 rps < floor.
+    for i in range(12):
+        monitor.observe(3.0 + i * 0.1, None, "shed")
+    violations = monitor.evaluate(now=5.0)
+    assert [v.kind for v in violations] == ["throughput"]
+
+
+# ------------------------------------------------------------ bookkeeping
+def test_observe_validation():
+    monitor = make_monitor(latency_contract())
+    with pytest.raises(ValueError, match="latency"):
+        monitor.observe(1.0, None, "ok")
+    with pytest.raises(ValueError, match="unknown outcome"):
+        monitor.observe(1.0, 0.1, "mystery")
+    with pytest.raises(ValueError):
+        SLOMonitor(Simulator(), "svc", latency_contract(), check_period_s=0)
+    with pytest.raises(ValueError):
+        next(monitor.run(0))
+
+
+def test_counters_and_first_shed_time():
+    monitor = make_monitor(latency_contract())
+    monitor.observe(1.0, 0.1, "ok")
+    monitor.observe(2.0, None, "failed")
+    monitor.observe(3.0, None, "shed")
+    monitor.observe(4.0, None, "shed")
+    assert monitor.total_ok == 1
+    assert monitor.total_failed == 1
+    assert monitor.total_shed == 2
+    assert monitor.total_requests == 4
+    assert monitor.first_shed_time == 3.0
+
+
+def test_run_records_violations_and_notifies_listeners():
+    sim = Simulator()
+    contract = latency_contract(threshold_s=0.5, window_s=10.0, min_samples=2)
+    monitor = SLOMonitor(sim, "svc", contract, check_period_s=1.0)
+    heard = []
+    monitor.breach_listeners.append(heard.append)
+
+    def feed(sim):
+        for _ in range(20):
+            yield sim.timeout(0.5)
+            monitor.observe(sim.now, 2.0, "ok")
+
+    sim.process(feed(sim))
+    run = sim.process(monitor.run(10.0))
+    sim.run_until_process(run)
+    assert monitor.violations
+    assert monitor.evaluations == 10
+    assert monitor.breach_evaluations > 0
+    assert heard == monitor.violations
+    assert monitor.violations_of("latency") == monitor.violations
+
+
+# ----------------------------------------------------- switch integration
+def test_monitor_taps_real_switch(testbed):
+    record = create_sla_service(
+        testbed, "web",
+        latency_contract(threshold_s=10.0, window_s=60.0),
+    )
+    monitor = SLOMonitor(testbed.sim, "web", record.sla, check_period_s=5.0)
+    monitor.attach(record.switch)
+
+    from repro.workload.apps import web_request
+
+    client = testbed.add_client("c1")
+    for _ in range(3):
+        testbed.run(record.switch.serve(web_request(client, 0.1)))
+    assert monitor.total_ok == 3
+    assert monitor.total_failed == 0
+    assert len(monitor._ok_latencies) == 3
+    # A generous objective over a healthy service: no violations.
+    assert monitor.evaluate() == []

@@ -1,0 +1,138 @@
+"""Tests for penalty pricing and ledger credit settlement."""
+
+import pytest
+
+from repro.core.billing import BillingLedger
+from repro.sla import (
+    PenaltySchedule,
+    PenaltySettler,
+    SLAViolation,
+    credit_for_violations,
+)
+
+
+def violation(t, kind="latency"):
+    return SLAViolation(
+        time=t, service="svc", kind=kind, observed=2.0, limit=0.5, window_s=30.0
+    )
+
+
+# ------------------------------------------------------------ credit math
+def test_credit_is_linear_below_cap():
+    schedule = PenaltySchedule(credit_per_violation=0.05, cap_fraction=0.5)
+    assert credit_for_violations(schedule, 0, gross=100.0) == 0.0
+    assert credit_for_violations(schedule, 3, gross=100.0) == pytest.approx(0.15)
+
+
+def test_credit_capped_at_fraction_of_gross():
+    schedule = PenaltySchedule(credit_per_violation=1.0, cap_fraction=0.5)
+    assert credit_for_violations(schedule, 10, gross=4.0) == pytest.approx(2.0)
+
+
+def test_credit_cap_respects_prior_credits():
+    schedule = PenaltySchedule(credit_per_violation=1.0, cap_fraction=0.5)
+    # Cap is 2.0 total; 1.5 already granted leaves 0.5 of headroom.
+    assert credit_for_violations(
+        schedule, 10, gross=4.0, already_credited=1.5
+    ) == pytest.approx(0.5)
+    # Headroom never goes negative.
+    assert credit_for_violations(
+        schedule, 10, gross=4.0, already_credited=3.0
+    ) == 0.0
+
+
+def test_credit_validation():
+    schedule = PenaltySchedule()
+    with pytest.raises(ValueError):
+        credit_for_violations(schedule, -1, gross=1.0)
+    with pytest.raises(ValueError):
+        credit_for_violations(schedule, 1, gross=-1.0)
+
+
+# ------------------------------------------------------------ settlement
+def metered_ledger():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started("svc", "acme", now=0.0, m_units=2)
+    return ledger  # gross at t=3600: 2 machine-hours = 2.0
+
+
+def test_settle_posts_credit_note():
+    ledger = metered_ledger()
+    settler = PenaltySettler(ledger)
+    schedule = PenaltySchedule(credit_per_violation=0.1, cap_fraction=0.5)
+    violations = [violation(10.0), violation(20.0, "availability")]
+    settlement = settler.settle("svc", "acme", schedule, violations, now=3600.0)
+    assert settlement.n_violations == 2
+    assert settlement.credit == pytest.approx(0.2)
+    assert not settlement.capped
+    assert ledger.credit_total(service="svc") == pytest.approx(0.2)
+    (note,) = ledger.credits
+    assert note.asp == "acme"
+    assert "2 violation(s)" in note.reason
+    assert "availability" in note.reason and "latency" in note.reason
+
+
+def test_settle_is_incremental_and_idempotent():
+    ledger = metered_ledger()
+    settler = PenaltySettler(ledger)
+    schedule = PenaltySchedule(credit_per_violation=0.1, cap_fraction=0.9)
+    violations = [violation(10.0)]
+    first = settler.settle("svc", "acme", schedule, violations, now=3600.0)
+    assert first.credit == pytest.approx(0.1)
+    # Same list again: nothing new to price.
+    again = settler.settle("svc", "acme", schedule, violations, now=3600.0)
+    assert again.n_violations == 0
+    assert again.credit == 0.0
+    # Two more violations appended: only those two are priced.
+    violations += [violation(30.0), violation(40.0)]
+    third = settler.settle("svc", "acme", schedule, violations, now=3600.0)
+    assert third.n_violations == 2
+    assert third.credit == pytest.approx(0.2)
+    assert settler.settled_count("svc") == 3
+    assert ledger.credit_total(service="svc") == pytest.approx(0.3)
+
+
+def test_settle_marks_capped():
+    ledger = metered_ledger()
+    settler = PenaltySettler(ledger)
+    schedule = PenaltySchedule(credit_per_violation=10.0, cap_fraction=0.5)
+    settlement = settler.settle(
+        "svc", "acme", schedule, [violation(10.0)], now=3600.0
+    )
+    # Gross is 2.0, cap 1.0 < the 10.0 uncapped credit.
+    assert settlement.capped
+    assert settlement.credit == pytest.approx(1.0)
+
+
+# ------------------------------------------------------- invoice netting
+def test_invoice_nets_credits():
+    ledger = metered_ledger()
+    gross = ledger.gross("acme", now=3600.0)
+    assert gross == pytest.approx(2.0)
+    ledger.add_credit("svc", "acme", now=3600.0, amount=0.5, reason="SLA")
+    assert ledger.invoice("acme", now=3600.0) == pytest.approx(1.5)
+    # Gross is unaffected by credits.
+    assert ledger.gross("acme", now=3600.0) == pytest.approx(gross)
+
+
+def test_invoice_floored_at_zero():
+    ledger = metered_ledger()
+    ledger.add_credit("svc", "acme", now=3600.0, amount=99.0, reason="SLA")
+    assert ledger.invoice("acme", now=3600.0) == 0.0
+
+
+def test_credit_note_validation():
+    ledger = metered_ledger()
+    with pytest.raises(ValueError):
+        ledger.add_credit("svc", "acme", now=1.0, amount=0.0)
+
+
+def test_credit_total_filters():
+    ledger = BillingLedger()
+    ledger.add_credit("a", "acme", now=1.0, amount=1.0)
+    ledger.add_credit("b", "acme", now=1.0, amount=2.0)
+    ledger.add_credit("c", "zeta", now=1.0, amount=4.0)
+    assert ledger.credit_total() == pytest.approx(7.0)
+    assert ledger.credit_total(asp="acme") == pytest.approx(3.0)
+    assert ledger.credit_total(service="b") == pytest.approx(2.0)
+    assert ledger.credit_total(asp="acme", service="b") == pytest.approx(2.0)

@@ -1,0 +1,90 @@
+"""Tests for the SLA compliance reporting layer."""
+
+import pytest
+
+from repro.core.billing import BillingLedger
+from repro.sim.kernel import Simulator
+from repro.sla import (
+    ComplianceSummary,
+    LatencyObjective,
+    ServiceClass,
+    SLAContract,
+    SLOMonitor,
+    compliance_result,
+    compliance_summary,
+    export_compliance,
+)
+
+
+def monitored_service():
+    contract = SLAContract(
+        service_class=ServiceClass.GOLD,
+        latency=(LatencyObjective(95.0, 0.5, window_s=10.0, min_samples=2),),
+    )
+    monitor = SLOMonitor(Simulator(), "web", contract)
+    monitor.observe(1.0, 0.1, "ok")
+    monitor.observe(2.0, 2.0, "ok")
+    monitor.observe(3.0, None, "failed")
+    monitor.observe(4.0, None, "shed")
+    monitor.violations.extend(monitor.evaluate(now=5.0))  # one latency breach
+    ledger = BillingLedger()
+    ledger.service_started("web", "acme", now=0.0, m_units=1)
+    ledger.add_credit("web", "acme", now=3600.0, amount=0.25, reason="SLA")
+    return monitor, ledger
+
+
+def test_compliance_summary_fields():
+    monitor, ledger = monitored_service()
+    summary = compliance_summary(monitor, "acme", ledger, now=3600.0)
+    assert summary.service == "web"
+    assert summary.asp == "acme"
+    assert summary.service_class == "gold"
+    assert summary.requests_ok == 2
+    assert summary.requests_failed == 1
+    assert summary.requests_shed == 1
+    assert summary.requests_total == 4
+    assert summary.success_fraction == pytest.approx(0.5)
+    assert summary.violations_latency == 1
+    assert summary.violations_availability == 0
+    assert summary.violations_total == 1
+    assert summary.gross == pytest.approx(1.0)
+    assert summary.credit == pytest.approx(0.25)
+    assert summary.net == pytest.approx(0.75)
+
+
+def test_net_floored_at_zero():
+    summary = ComplianceSummary(
+        service="s", asp="a", service_class="bronze",
+        requests_ok=0, requests_failed=0, requests_shed=0,
+        violations_latency=0, violations_availability=0,
+        violations_throughput=0, gross=1.0, credit=5.0,
+    )
+    assert summary.net == 0.0
+    assert summary.success_fraction == 1.0  # no traffic, no blame
+
+
+def test_compliance_result_table():
+    monitor, ledger = monitored_service()
+    summary = compliance_summary(monitor, "acme", ledger, now=3600.0)
+    result = compliance_result([summary])
+    assert result.experiment_id == "sla_compliance"
+    assert len(result.rows) == 1
+    row = dict(zip(result.headers, result.rows[0]))
+    assert row["service"] == "web"
+    assert row["class"] == "gold"
+    assert row["ok"] == "2"
+    assert row["shed"] == "1"
+    assert row["viol_latency"] == "1"
+    assert float(row["net"]) == pytest.approx(0.75)
+    # Renders without blowing up.
+    assert "sla_compliance" in result.render()
+
+
+def test_export_compliance_csv():
+    monitor, ledger = monitored_service()
+    summary = compliance_summary(monitor, "acme", ledger, now=3600.0)
+    documents = export_compliance([summary])
+    assert set(documents) == {"sla_compliance.csv"}
+    lines = documents["sla_compliance.csv"].strip().splitlines()
+    assert lines[0].startswith("service,class,ok,")
+    assert lines[1].startswith("web,gold,2,1,1,1,0,0,")
