@@ -1,6 +1,6 @@
 # Convenience targets for the SODA reproduction.
 
-.PHONY: install test lint bench experiments report examples all
+.PHONY: install test lint bench bench-compare bench-pytest experiments report examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,6 +12,12 @@ lint:
 	ruff check src/ tests/ examples/
 
 bench:
+	PYTHONPATH=src python -m repro.bench
+
+bench-compare:
+	PYTHONPATH=src python -m repro.bench --dry-run --compare
+
+bench-pytest:
 	pytest benchmarks/ --benchmark-only
 
 experiments:

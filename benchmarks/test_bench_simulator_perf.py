@@ -5,85 +5,42 @@ the simulator's wall-clock cost: event-kernel throughput, LAN fluid
 recomputation under flow churn, scheduler quantum loops, and a full
 service-creation round trip.  Regressions here make every experiment
 slower.
+
+The workloads live in :mod:`repro.bench` so this pytest-benchmark suite
+and the ``python -m repro.bench`` baseline tracker measure the exact
+same work.  ``BENCH_simulator.json`` in the repo root holds the tracked
+trajectory; compare a fresh run against it with::
+
+    python -m repro.bench --dry-run --compare
 """
 
-from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
-from repro.core.auth import Credentials
-from repro.host.scheduler import ProportionalShareScheduler, figure5_groups
-from repro.image.profiles import make_s1_web_content
-from repro.net.lan import LAN
-from repro.sim import Simulator
-from repro.sim.rng import RandomStreams
+from repro.bench import (
+    bench_kernel_event_throughput,
+    bench_lan_flow_churn,
+    bench_scheduler_quantum_loop,
+    bench_service_creation_roundtrip,
+)
 
 
 def test_bench_kernel_event_throughput(benchmark):
     """Process 100k timeout events."""
-
-    def run():
-        sim = Simulator()
-
-        def ticker(sim, n):
-            for _ in range(n):
-                yield sim.timeout(1.0)
-
-        for _ in range(10):
-            sim.process(ticker(sim, 10_000))
-        sim.run()
-        return sim.now
-
-    now = benchmark(run)
+    now = benchmark(bench_kernel_event_throughput)
     assert now == 10_000.0
 
 
 def test_bench_lan_flow_churn(benchmark):
     """2000 staggered flows through the max-min fair allocator."""
-
-    def run():
-        sim = Simulator()
-        lan = LAN(sim, bandwidth_mbps=100.0)
-        nics = [lan.nic(f"n{i}", 1000.0) for i in range(20)]
-        streams = RandomStreams(seed=0)
-
-        def source(sim, src, dst):
-            for _ in range(100):
-                flow = lan.transfer(src, dst, size_mb=streams.uniform("s", 0.05, 0.5))
-                yield flow.done
-
-        for i in range(10):
-            sim.process(source(sim, nics[2 * i], nics[2 * i + 1]))
-        sim.run()
-        return sim.now
-
-    now = benchmark(run)
+    now = benchmark(bench_lan_flow_churn)
     assert now > 0
 
 
 def test_bench_scheduler_quantum_loop(benchmark):
     """60 simulated seconds of stride scheduling (6000 quanta)."""
-
-    def run():
-        scheduler = ProportionalShareScheduler(figure5_groups(), RandomStreams(0))
-        return scheduler.run(60.0)
-
-    trace = benchmark(run)
-    assert abs(trace.horizon_s - 60.0) < 0.011  # 6000 quanta of 10 ms
+    horizon = benchmark(bench_scheduler_quantum_loop)
+    assert abs(horizon - 60.0) < 0.011  # 6000 quanta of 10 ms
 
 
 def test_bench_service_creation_roundtrip(benchmark):
     """Full create -> teardown through Agent/Master/Daemon/UML."""
-
-    def run():
-        testbed = build_paper_testbed(seed=0)
-        repo = testbed.add_repository()
-        repo.publish(make_s1_web_content())
-        testbed.agent.register_asp("acme", "supersecret")
-        creds = Credentials("acme", "supersecret")
-        requirement = ResourceRequirement(n=2, machine=MachineConfig())
-        testbed.run(
-            testbed.agent.service_creation(creds, "web", repo, "web-content", requirement)
-        )
-        testbed.run(testbed.agent.service_teardown(creds, "web"))
-        return testbed.now
-
-    now = benchmark(run)
+    now = benchmark(bench_service_creation_roundtrip)
     assert now > 0

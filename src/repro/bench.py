@@ -1,0 +1,259 @@
+"""Wall-clock benchmarks of the simulation substrate, with a tracked baseline.
+
+Unlike the experiment benches under ``benchmarks/`` (which regenerate the
+paper's tables and figures), these measure the *reproduction pipeline's own
+cost*: event-kernel throughput, LAN fluid recomputation under flow churn,
+scheduler quantum loops, and a full service-creation round trip.  Every
+experiment pays these costs, so regressions here slow the whole repo down.
+
+``python -m repro.bench`` runs every bench several times and appends one
+entry (min/median wall-clock per bench) to ``BENCH_simulator.json``.  The
+file accumulates a trajectory across PRs::
+
+    {"schema": 1, "entries": [
+        {"label": "...", "python": "3.11.7", "results": {
+            "kernel_event_throughput": {"min_s": ..., "median_s": ..., "rounds": 5},
+            ...}},
+        ...]}
+
+``--compare`` prints the speedup of the newest entry against the first (or
+``--against LABEL``); ``--check MIN`` exits non-zero unless every compared
+bench meets the given speedup factor.  Timings are machine-dependent, so
+comparisons are only meaningful between entries produced on one machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["BENCHES", "run_benches", "load_history", "main"]
+
+BENCH_FILE = "BENCH_simulator.json"
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Bench workloads.  These are imported by benchmarks/test_bench_simulator_perf
+# so the pytest-benchmark suite and this CLI measure the exact same work.
+# ---------------------------------------------------------------------------
+
+def bench_kernel_event_throughput() -> float:
+    """Process 100k timeout events through 10 concurrent processes."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+
+    def ticker(sim, n):
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    for _ in range(10):
+        sim.process(ticker(sim, 10_000))
+    sim.run()
+    assert sim.now == 10_000.0
+    return sim.now
+
+
+def bench_lan_flow_churn() -> float:
+    """2000 staggered flows through the max-min fair allocator."""
+    from repro.net.lan import LAN
+    from repro.sim import Simulator
+    from repro.sim.rng import RandomStreams
+
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=100.0)
+    nics = [lan.nic(f"n{i}", 1000.0) for i in range(20)]
+    streams = RandomStreams(seed=0)
+
+    def source(sim, src, dst):
+        for _ in range(100):
+            flow = lan.transfer(src, dst, size_mb=streams.uniform("s", 0.05, 0.5))
+            yield flow.done
+
+    for i in range(10):
+        sim.process(source(sim, nics[2 * i], nics[2 * i + 1]))
+    sim.run()
+    assert sim.now > 0
+    return sim.now
+
+
+def bench_scheduler_quantum_loop() -> float:
+    """60 simulated seconds of stride scheduling (6000 quanta)."""
+    from repro.host.scheduler import ProportionalShareScheduler, figure5_groups
+    from repro.sim.rng import RandomStreams
+
+    scheduler = ProportionalShareScheduler(figure5_groups(), RandomStreams(0))
+    trace = scheduler.run(60.0)
+    assert abs(trace.horizon_s - 60.0) < 0.011
+    return trace.horizon_s
+
+
+def bench_service_creation_roundtrip() -> float:
+    """Full create -> teardown through Agent/Master/Daemon/UML."""
+    from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+    from repro.core.auth import Credentials
+    from repro.image.profiles import make_s1_web_content
+
+    testbed = build_paper_testbed(seed=0)
+    repo = testbed.add_repository()
+    repo.publish(make_s1_web_content())
+    testbed.agent.register_asp("acme", "supersecret")
+    creds = Credentials("acme", "supersecret")
+    requirement = ResourceRequirement(n=2, machine=MachineConfig())
+    testbed.run(
+        testbed.agent.service_creation(creds, "web", repo, "web-content", requirement)
+    )
+    testbed.run(testbed.agent.service_teardown(creds, "web"))
+    assert testbed.now > 0
+    return testbed.now
+
+
+#: bench name -> (callable, default rounds).
+BENCHES: Dict[str, tuple] = {
+    "kernel_event_throughput": (bench_kernel_event_throughput, 5),
+    "lan_flow_churn": (bench_lan_flow_churn, 5),
+    "scheduler_quantum_loop": (bench_scheduler_quantum_loop, 5),
+    "service_creation_roundtrip": (bench_service_creation_roundtrip, 3),
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness.
+# ---------------------------------------------------------------------------
+
+def _time_one(fn: Callable[[], object], rounds: int) -> Dict[str, object]:
+    fn()  # warm-up round: imports, allocator pools, code caches
+    times: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "min_s": round(min(times), 6),
+        "median_s": round(statistics.median(times), 6),
+        "rounds": rounds,
+    }
+
+
+def run_benches(
+    names: Optional[List[str]] = None, rounds: Optional[int] = None
+) -> Dict[str, Dict[str, object]]:
+    """Run the selected benches; returns {name: {min_s, median_s, rounds}}."""
+    selected = names or list(BENCHES)
+    results: Dict[str, Dict[str, object]] = {}
+    for name in selected:
+        if name not in BENCHES:
+            raise KeyError(f"unknown bench {name!r}; known: {sorted(BENCHES)}")
+        fn, default_rounds = BENCHES[name]
+        results[name] = _time_one(fn, rounds or default_rounds)
+    return results
+
+
+def load_history(path: str) -> Dict[str, object]:
+    try:
+        with open(path) as handle:
+            history = json.load(handle)
+    except FileNotFoundError:
+        return {"schema": SCHEMA_VERSION, "entries": []}
+    if "entries" not in history:
+        raise ValueError(f"{path} is not a bench history file")
+    return history
+
+
+def _find_entry(history: Dict[str, object], label: Optional[str]) -> Dict[str, object]:
+    entries = history["entries"]
+    if not entries:
+        raise ValueError("bench history is empty")
+    if label is None:
+        return entries[0]
+    for entry in entries:
+        if entry["label"] == label:
+            return entry
+    raise ValueError(f"no bench entry labelled {label!r}")
+
+
+def compare(
+    history: Dict[str, object], against: Optional[str] = None
+) -> Dict[str, float]:
+    """Speedup factors (baseline median / latest median) per shared bench."""
+    baseline = _find_entry(history, against)
+    latest = history["entries"][-1]
+    speedups: Dict[str, float] = {}
+    for name, result in latest["results"].items():
+        base = baseline["results"].get(name)
+        if base is None:
+            continue
+        speedups[name] = base["median_s"] / result["median_s"]
+    return speedups
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench",
+        description="Benchmark the simulation substrate and track a baseline.",
+    )
+    parser.add_argument("--out", default=BENCH_FILE, help="history file to append to")
+    parser.add_argument("--label", default=None, help="entry label (default: timestamp)")
+    parser.add_argument("--rounds", type=int, default=None, help="override rounds per bench")
+    parser.add_argument(
+        "--bench", action="append", default=None,
+        help="run only this bench (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", help="print results without touching the file"
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="after running, print speedup of the newest entry vs the baseline",
+    )
+    parser.add_argument(
+        "--against", default=None,
+        help="baseline entry label for --compare/--check (default: first entry)",
+    )
+    parser.add_argument(
+        "--check", type=float, default=None, metavar="MIN_SPEEDUP",
+        help="exit 1 unless every compared bench reaches this speedup factor",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benches(args.bench, args.rounds)
+    label = args.label or time.strftime("%Y-%m-%dT%H:%M:%S")
+    entry = {
+        "label": label,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    width = max(len(n) for n in results)
+    for name, result in results.items():
+        print(f"{name:<{width}}  min {result['min_s']:.4f}s  median {result['median_s']:.4f}s")
+
+    history = load_history(args.out)
+    history["entries"].append(entry)
+    if not args.dry_run:
+        with open(args.out, "w") as handle:
+            json.dump(history, handle, indent=2)
+            handle.write("\n")
+        print(f"appended entry {label!r} to {args.out}")
+
+    if args.compare or args.check is not None:
+        speedups = compare(history, args.against)
+        failures = []
+        for name, factor in speedups.items():
+            print(f"{name:<{width}}  {factor:.2f}x vs baseline")
+            if args.check is not None and factor < args.check:
+                failures.append(name)
+        if failures:
+            print(f"below {args.check}x speedup: {failures}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -4,17 +4,25 @@
 <id> [--seed N] [--fast]`` runs one; ``soda-experiments all`` runs the
 lot and prints a summary.  ``soda-experiments report`` emits the
 markdown block EXPERIMENTS.md embeds.
+
+``all`` accepts ``--parallel N`` to fan the experiment/seed jobs across
+``N`` worker processes (each experiment builds its own simulator, so
+jobs are fully independent); output is merged in registry order, so a
+parallel run prints exactly what the serial run would.  Invoking the
+CLI with only flags (``python -m repro.experiments.runner --parallel
+4``) implies the ``all`` subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.metrics.report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
 
 
 def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
@@ -79,7 +87,43 @@ def run_experiment(experiment_id: str, seed: int = 0, fast: bool = False) -> Exp
     return experiments[experiment_id](seed=seed, fast=fast)
 
 
-def main(argv: List[str] = None) -> int:
+def _worker(job: Tuple[str, int, bool]) -> Tuple[str, int, str, bool]:
+    """Run one (experiment, seed) job; never raises (for pool transport)."""
+    experiment_id, seed, fast = job
+    try:
+        result = run_experiment(experiment_id, seed=seed, fast=fast)
+        return experiment_id, seed, result.render(), result.all_within_tolerance
+    except Exception:
+        return experiment_id, seed, traceback.format_exc(), False
+
+
+def run_all(
+    seeds: List[int], fast: bool = False, parallel: int = 1
+) -> List[Tuple[str, int, str, bool]]:
+    """Run every experiment for every seed; returns (id, seed, text, ok).
+
+    With ``parallel > 1`` the jobs are fanned across worker processes.
+    Results are merged back in registry order (seeds inner), so the
+    returned list — and anything printed from it — is identical to a
+    serial run's.
+    """
+    jobs = [(eid, seed, fast) for eid in _experiments() for seed in seeds]
+    if parallel > 1 and len(jobs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(parallel, len(jobs))) as pool:
+            finished = list(pool.map(_worker, jobs))
+        merged = {(eid, seed): (text, ok) for eid, seed, text, ok in finished}
+        return [
+            (eid, seed) + merged[(eid, seed)] for eid, seed, _fast in jobs
+        ]
+    return [_worker(job) for job in jobs]
+
+
+_COMMANDS = ("list", "run", "all", "report")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="soda-experiments",
         description="Reproduce the SODA (HPDC 2003) tables and figures.",
@@ -92,12 +136,24 @@ def main(argv: List[str] = None) -> int:
     run_parser.add_argument("--fast", action="store_true")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="run each experiment once per seed (overrides --seed)",
+    )
     all_parser.add_argument("--fast", action="store_true")
+    all_parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan jobs across N worker processes (default: serial)",
+    )
     report_parser = sub.add_parser("report", help="emit EXPERIMENTS.md markdown")
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--fast", action="store_true")
     report_parser.add_argument("--out", default=None, help="write to a file")
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["all"] + list(argv)  # flags only: imply `all`
     args = parser.parse_args(argv)
     if args.command == "list":
         for experiment_id in _experiments():
@@ -119,13 +175,17 @@ def main(argv: List[str] = None) -> int:
             print(markdown)
         return 0
     # all
+    seeds = args.seeds if args.seeds else [args.seed]
+    if args.parallel < 1:
+        parser.error(f"--parallel must be >= 1, got {args.parallel}")
     failures = []
-    for experiment_id in _experiments():
-        result = run_experiment(experiment_id, seed=args.seed, fast=args.fast)
-        print(result.render())
+    for experiment_id, seed, text, ok in run_all(seeds, args.fast, args.parallel):
+        print(text)
         print()
-        if not result.all_within_tolerance:
-            failures.append(experiment_id)
+        if not ok:
+            failures.append(
+                experiment_id if len(seeds) == 1 else f"{experiment_id}[seed={seed}]"
+            )
     if failures:
         print(f"OUT OF TOLERANCE: {failures}", file=sys.stderr)
         return 1

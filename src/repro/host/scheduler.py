@@ -193,29 +193,65 @@ class _SchedulerBase:
 
     # -- the quantum loop ----------------------------------------------------
     def run(self, horizon_s: float) -> SchedulerTrace:
+        # The loop batches bookkeeping instead of redoing it every 10 ms
+        # tick: the wake scan only runs when the earliest pending wake
+        # time is actually due, the runnable list is only rebuilt when
+        # the blocked set changed, fully idle stretches are filled in a
+        # tight inner loop, and the trace matrices are reconstructed
+        # from the per-quantum charge log after the loop.  The pick /
+        # charge / wake sequence (and therefore the trace, including its
+        # float accumulation) is identical to the naive per-tick loop.
         if horizon_s <= 0:
             raise ValueError(f"horizon must be positive, got {horizon_s}")
         n_groups = len(self.groups)
         n_quanta = int(math.ceil(horizon_s / QUANTUM_S))
-        times = np.empty(n_quanta + 1)
-        cumulative = np.zeros((n_groups, n_quanta + 1))
-        times[0] = 0.0
-        cpu_time = np.zeros(n_groups)
-        blocked_since: Dict[_Task, bool] = {t: False for t in self.tasks}
+        blocked: Dict[_Task, bool] = {}  # insertion keyed; values unused
+        next_wake = math.inf
+        runnable: List[_Task] = list(self.tasks)
+        runnable_dirty = False
+        # charges[q] is the group index that consumed quantum q (-1: idle).
+        charges: List[int] = []
+        times_list: List[float] = [0.0]
 
         now = 0.0
-        for q in range(n_quanta):
-            # Wake due tasks.
-            for task in self.tasks:
-                if blocked_since[task] and task.wake_time <= now + 1e-12:
-                    blocked_since[task] = False
-                    task.burst_left = task.spec.run_quanta
-                    self._woke(task, now)
-            runnable = [t for t in self.tasks if not blocked_since[t]]
-            chosen = self._pick(runnable, now) if runnable else None
+        q = 0
+        while q < n_quanta:
+            if next_wake <= now + 1e-12:
+                # Wake every due task, in task order (as the per-tick
+                # scan did).
+                next_wake = math.inf
+                for task in self.tasks:
+                    if task not in blocked:
+                        continue
+                    if task.wake_time <= now + 1e-12:
+                        del blocked[task]
+                        task.burst_left = task.spec.run_quanta
+                        self._woke(task, now)
+                    elif task.wake_time < next_wake:
+                        next_wake = task.wake_time
+                runnable_dirty = True
+            if runnable_dirty:
+                runnable = [t for t in self.tasks if t not in blocked]
+                runnable_dirty = False
+            if not runnable:
+                # Idle stretch: nothing can run until the next wake.
+                # Advance quantum by quantum (keeping the repeated
+                # `now += QUANTUM_S` accumulation exact) but skip the
+                # pick/charge machinery entirely.
+                now += QUANTUM_S
+                times_list.append(now)
+                charges.append(-1)
+                q += 1
+                while q < n_quanta and next_wake > now + 1e-12:
+                    now += QUANTUM_S
+                    times_list.append(now)
+                    charges.append(-1)
+                    q += 1
+                continue
+            chosen = self._pick(runnable, now)
             now += QUANTUM_S
             if chosen is not None:
-                cpu_time[chosen.group_index] += QUANTUM_S
+                charges.append(chosen.group_index)
                 chosen.burst_left -= 1
                 self._charged(chosen, now)
                 if chosen.burst_left <= 0 and chosen.spec.block_s > 0:
@@ -223,9 +259,26 @@ class _SchedulerBase:
                         chosen.rng_name, chosen.spec.jitter
                     )
                     chosen.wake_time = now + chosen.spec.block_s * jitter
-                    blocked_since[chosen] = True
-            times[q + 1] = now
-            cumulative[:, q + 1] = cpu_time
+                    blocked[chosen] = True
+                    if chosen.wake_time < next_wake:
+                        next_wake = chosen.wake_time
+                    runnable_dirty = True
+            else:
+                charges.append(-1)
+            times_list.append(now)
+            q += 1
+
+        times = np.asarray(times_list)
+        cumulative = np.zeros((n_groups, n_quanta + 1))
+        if n_quanta:
+            charge_arr = np.asarray(charges)
+            for g in range(n_groups):
+                # np.cumsum accumulates left to right, so adding
+                # QUANTUM_S at charged quanta and 0.0 elsewhere yields
+                # bit-for-bit the running totals the per-tick loop kept.
+                cumulative[g, 1:] = np.cumsum(
+                    np.where(charge_arr == g, QUANTUM_S, 0.0)
+                )
 
         return SchedulerTrace(
             group_names=tuple(g.name for g in self.groups),
@@ -267,38 +320,63 @@ class ProportionalShareScheduler(_SchedulerBase):
         self._pass = [0.0 for _ in self.groups]
         self._rr_index = [0 for _ in self.groups]
         self._group_idle = [False for _ in self.groups]
+        # Reused per-group buckets: _pick runs once per quantum, so it
+        # avoids allocating a fresh dict-of-lists every call.
+        self._buckets: List[List[_Task]] = [[] for _ in self.groups]
 
     def _pick(self, runnable: List[_Task], now: float) -> Optional[_Task]:
-        by_group: Dict[int, List[_Task]] = {}
-        for task in runnable:
-            by_group.setdefault(task.group_index, []).append(task)
-        if not by_group:
+        if not runnable:
             return None
+        buckets = self._buckets
+        present: List[int] = []  # group indices in first-seen (task) order
+        for task in runnable:
+            g = task.group_index
+            bucket = buckets[g]
+            if not bucket:
+                present.append(g)
+            bucket.append(task)
+        passes = self._pass
+        group_idle = self._group_idle
         # Re-base groups waking from idleness to the current virtual time
         # (taken from the groups that stayed active) so they neither
         # monopolise the CPU to catch up nor owe time they never used.
-        non_idle = [g for g in by_group if not self._group_idle[g]]
-        if non_idle:
-            virtual_time = min(self._pass[g] for g in non_idle)
-        else:
-            virtual_time = max(self._pass[g] for g in by_group)
-        for g in by_group:
-            if self._group_idle[g]:
+        virtual_time: Optional[float] = None
+        for g in present:
+            if not group_idle[g]:
+                p = passes[g]
+                if virtual_time is None or p < virtual_time:
+                    virtual_time = p
+        if virtual_time is None:
+            virtual_time = max(passes[g] for g in present)
+        for g in present:
+            if group_idle[g]:
                 # One stride of credit: a group that blocked after
                 # under-using its share wakes with priority, which lets
                 # I/O-bound nodes (like *log*) actually collect their
                 # entitlement; the bound prevents catch-up monopolies.
-                self._pass[g] = max(self._pass[g], virtual_time - self._stride[g])
-                self._group_idle[g] = False
+                rebased = virtual_time - self._stride[g]
+                if rebased > passes[g]:
+                    passes[g] = rebased
+                group_idle[g] = False
         for g in range(len(self.groups)):
-            if g not in by_group:
-                self._group_idle[g] = True
-        g = min(by_group, key=lambda gi: (self._pass[gi], gi))
-        tasks = by_group[g]
-        index = self._rr_index[g] % len(tasks)
-        self._rr_index[g] += 1
-        self._pass[g] += self._stride[g]
-        return tasks[index]
+            if not buckets[g]:
+                group_idle[g] = True
+        # Smallest (pass, group index) wins.
+        best = present[0]
+        best_pass = passes[best]
+        for g in present:
+            p = passes[g]
+            if p < best_pass or (p == best_pass and g < best):
+                best = g
+                best_pass = p
+        tasks = buckets[best]
+        index = self._rr_index[best] % len(tasks)
+        self._rr_index[best] += 1
+        passes[best] += self._stride[best]
+        chosen = tasks[index]
+        for g in present:
+            buckets[g].clear()
+        return chosen
 
 
 # Convenience alias used by experiment code.

@@ -14,6 +14,25 @@ the LAN exactly at the next flow-completion instant, so the model is
 event-driven and exact for piecewise-constant rate allocations.
 Transfers between two endpoints on the same NIC short-circuit through a
 loopback path and consume no LAN bandwidth.
+
+Incremental recomputation
+-------------------------
+Recomputing the allocation used to happen eagerly on *every* flow
+arrival, departure, and cap change.  The allocator is now incremental
+and batched:
+
+* Mutations only mark the LAN dirty; one flush — scheduled at the same
+  instant with URGENT priority via ``Simulator.call_soon`` — drains the
+  fluid state and recomputes rates once, no matter how many same-instant
+  arrivals/departures/cap changes occurred.
+* Per-NIC active-flow sets are maintained on arrival/departure, so the
+  progressive-filling pass seeds its residual/share-count tables directly
+  instead of rebuilding them from scratch.
+* Bottleneck groups are recomputed selectively: loopback flows form
+  singleton groups whose rate (``min(cap, loopback)``) is assigned
+  directly on arrival, and the wire group (all flows sharing the LAN
+  segment) is only re-filled when a *wire* flow arrives, departs, or
+  changes cap — loopback churn never triggers a max-min pass.
 """
 
 from __future__ import annotations
@@ -28,6 +47,7 @@ __all__ = ["NetworkInterface", "Flow", "LAN"]
 # Rate granted to co-located (same-NIC) transfers, in MB/s.  Generous but
 # finite so loopback transfers still take simulated time.
 LOOPBACK_RATE_MBPS = 4000.0
+_LOOPBACK_RATE_MBS = LOOPBACK_RATE_MBPS / 8.0
 
 _EPS = 1e-9
 
@@ -35,16 +55,16 @@ _EPS = 1e-9
 class NetworkInterface:
     """A host NIC attached to the LAN."""
 
+    __slots__ = ("name", "rate_mbps", "rate_mbs")
+
     def __init__(self, name: str, rate_mbps: float):
         if rate_mbps <= 0:
             raise ValueError(f"NIC rate must be positive, got {rate_mbps}")
         self.name = name
         self.rate_mbps = rate_mbps
-
-    @property
-    def rate_mbs(self) -> float:
-        """Capacity in megabytes per second."""
-        return self.rate_mbps / 8.0
+        # Capacity in megabytes per second (cached: read in the
+        # allocator's inner loop).
+        self.rate_mbs = rate_mbps / 8.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NetworkInterface({self.name!r}, {self.rate_mbps} Mbps)"
@@ -57,6 +77,12 @@ class Flow:
     arrived at the destination, i.e. after the data has drained plus one
     propagation latency.
     """
+
+    __slots__ = (
+        "lan", "src", "dst", "size_mb", "remaining_mb", "rate_cap_mbps",
+        "label", "rate_mbs", "started_at", "finished_at", "done",
+        "_cap_mbs", "_loopback", "_fixed", "_limit",
+    )
 
     def __init__(
         self,
@@ -78,24 +104,26 @@ class Flow:
         self.started_at = lan.sim.now
         self.finished_at: Optional[float] = None
         self.done: Event = Event(lan.sim)
+        self._cap_mbs = math.inf if rate_cap_mbps is None else rate_cap_mbps / 8.0
+        self._loopback = src is dst
+        self._fixed = False  # allocator scratch state
+        self._limit = 0.0
 
     @property
     def is_loopback(self) -> bool:
-        return self.src is self.dst
+        return self._loopback
 
     @property
     def cap_mbs(self) -> float:
-        if self.rate_cap_mbps is None:
-            return math.inf
-        return self.rate_cap_mbps / 8.0
+        return self._cap_mbs
 
     def set_rate_cap(self, rate_cap_mbps: Optional[float]) -> None:
         """Change the cap mid-flight (used by dynamic traffic shaping)."""
         if rate_cap_mbps is not None and rate_cap_mbps <= 0:
             raise ValueError(f"rate cap must be positive, got {rate_cap_mbps}")
-        self.lan._advance()
         self.rate_cap_mbps = rate_cap_mbps
-        self.lan._reschedule()
+        self._cap_mbs = math.inf if rate_cap_mbps is None else rate_cap_mbps / 8.0
+        self.lan._mark_dirty(wire=not self._loopback)
 
     @property
     def elapsed(self) -> float:
@@ -127,9 +155,16 @@ class LAN:
         self.bandwidth_mbps = bandwidth_mbps
         self.latency_s = latency_s
         self._nics: Dict[str, NetworkInterface] = {}
-        self._flows: List[Flow] = []
+        self._flows: List[Flow] = []  # all active flows, arrival order
+        self._wire: List[Flow] = []  # non-loopback active flows, arrival order
+        # Per-NIC active (non-loopback) flow sets, maintained on
+        # arrival/departure so the allocator can seed its residual and
+        # share-count tables without scanning every flow.
+        self._nic_flows: Dict[NetworkInterface, Set[Flow]] = {}
         self._last_update = sim.now
         self._wake_generation = 0
+        self._flush_pending = False
+        self._wire_dirty = False
 
     # -- topology ---------------------------------------------------------
     def nic(self, name: str, rate_mbps: Optional[float] = None) -> NetworkInterface:
@@ -165,35 +200,79 @@ class LAN:
         label: str = "",
     ) -> Flow:
         """Start a transfer; ``flow.done`` fires on completion."""
-        if size_mb < 0:
-            raise ValueError(f"negative transfer size: {size_mb}")
+        if size_mb <= 0:
+            raise ValueError(f"transfer size must be positive, got {size_mb}")
         if rate_cap_mbps is not None and rate_cap_mbps <= 0:
             raise ValueError(f"rate cap must be positive, got {rate_cap_mbps}")
         flow = Flow(self, src, dst, size_mb, rate_cap_mbps, label)
-        if size_mb == 0:
-            self._finish(flow)
-            return flow
-        self._advance()
         self._flows.append(flow)
-        self._reschedule()
+        if flow._loopback:
+            # Singleton bottleneck group: the rate is independent of
+            # every other flow, so assign it directly — no max-min pass.
+            flow.rate_mbs = min(flow._cap_mbs, _LOOPBACK_RATE_MBS)
+            self._mark_dirty(wire=False)
+        else:
+            self._wire.append(flow)
+            self._nic_flows.setdefault(src, set()).add(flow)
+            self._nic_flows.setdefault(dst, set()).add(flow)
+            self._mark_dirty(wire=True)
         return flow
 
     # -- fluid-model internals ----------------------------------------------
+    def _mark_dirty(self, wire: bool) -> None:
+        """Note a flow-set/cap mutation; coalesce same-instant flushes."""
+        if wire:
+            self._wire_dirty = True
+        if not self._flush_pending:
+            self._flush_pending = True
+            self.sim.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        """Drain, recompute affected groups, and re-arm the wake-up."""
+        self._flush_pending = False
+        self._advance()
+        if self._wire_dirty:
+            self._wire_dirty = False
+            self._compute_wire_rates()
+        self._arm_wake()
+
     def _advance(self) -> None:
         """Drain all flows at their current rates up to now."""
-        dt = self.sim.now - self._last_update
-        self._last_update = self.sim.now
-        if dt <= 0:
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
             return
-        finished: List[Flow] = []
+        finished: Optional[List[Flow]] = None
         for flow in self._flows:
-            flow.remaining_mb = max(0.0, flow.remaining_mb - flow.rate_mbs * dt)
-            if flow.remaining_mb <= _EPS:
+            remaining = flow.remaining_mb - flow.rate_mbs * dt
+            if remaining <= _EPS:
                 flow.remaining_mb = 0.0
+                if finished is None:
+                    finished = []
                 finished.append(flow)
-        for flow in finished:
-            self._flows.remove(flow)
-            self._finish(flow)
+            else:
+                flow.remaining_mb = remaining
+        if finished:
+            self._flows = [f for f in self._flows if f.remaining_mb > 0.0]
+            wire_changed = False
+            for flow in finished:
+                if not flow._loopback:
+                    wire_changed = True
+                    self._discard_nic(flow.src, flow)
+                    self._discard_nic(flow.dst, flow)
+            if wire_changed:
+                self._wire = [f for f in self._wire if f.remaining_mb > 0.0]
+                self._wire_dirty = True
+            for flow in finished:
+                self._finish(flow)
+
+    def _discard_nic(self, nic: NetworkInterface, flow: Flow) -> None:
+        flows = self._nic_flows.get(nic)
+        if flows is not None:
+            flows.discard(flow)
+            if not flows:
+                del self._nic_flows[nic]
 
     def _finish(self, flow: Flow) -> None:
         """Deliver the last byte after one propagation latency."""
@@ -204,56 +283,81 @@ class LAN:
             delivery = self.sim.timeout(self.latency_s)
             delivery.callbacks.append(lambda _ev, f=flow: f.done.succeed(f))
 
-    def _compute_rates(self) -> None:
-        """Progressive-filling max-min fair allocation.
+    def _compute_wire_rates(self) -> None:
+        """Progressive-filling max-min fairness over the wire group.
 
         Resources: the LAN segment (used by every non-loopback flow) and
         each NIC (as source or destination).  Per-flow caps are honoured.
+        The per-NIC active-flow sets seed the residual/count tables, and
+        the rounds iterate the wire list in arrival order, which keeps
+        the allocation deterministic.
         """
-        residual: Dict[object, float] = {"lan": self.bandwidth_mbps / 8.0}
-        count: Dict[object, int] = {"lan": 0}
-        flow_resources: Dict[Flow, List[object]] = {}
-        for flow in self._flows:
-            if flow.is_loopback:
-                flow_resources[flow] = []
-                continue
-            resources: List[object] = ["lan", flow.src, flow.dst]
-            flow_resources[flow] = resources
-            for r in resources:
-                if r not in residual:
-                    assert isinstance(r, NetworkInterface)
-                    residual[r] = r.rate_mbs
-                    count[r] = 0
-                count[r] += 1
-
-        unfixed: Set[Flow] = set(self._flows)
+        wire = self._wire
+        if not wire:
+            return
+        lan_residual = self.bandwidth_mbps / 8.0
+        lan_count = len(wire)
+        residual: Dict[NetworkInterface, float] = {}
+        count: Dict[NetworkInterface, int] = {}
+        for nic, flows in self._nic_flows.items():
+            residual[nic] = nic.rate_mbs
+            count[nic] = len(flows)
+        for flow in wire:
+            flow._fixed = False
+        unfixed = len(wire)
         while unfixed:
-            limits: Dict[Flow, float] = {}
-            for flow in unfixed:
-                limit = min(flow.cap_mbs, LOOPBACK_RATE_MBPS / 8.0) if flow.is_loopback else flow.cap_mbs
-                for r in flow_resources[flow]:
-                    if count[r] > 0:
-                        limit = min(limit, residual[r] / count[r])
-                limits[flow] = limit
-            bottleneck = min(limits.values())
-            newly_fixed = [f for f in unfixed if limits[f] <= bottleneck + _EPS]
-            assert newly_fixed, "progressive filling must fix at least one flow"
-            for flow in newly_fixed:
-                flow.rate_mbs = limits[flow]
-                for r in flow_resources[flow]:
-                    residual[r] = max(0.0, residual[r] - flow.rate_mbs)
-                    count[r] -= 1
-                unfixed.discard(flow)
+            bottleneck = math.inf
+            for flow in wire:
+                if flow._fixed:
+                    continue
+                limit = flow._cap_mbs
+                share = lan_residual / lan_count
+                if share < limit:
+                    limit = share
+                share = residual[flow.src] / count[flow.src]
+                if share < limit:
+                    limit = share
+                share = residual[flow.dst] / count[flow.dst]
+                if share < limit:
+                    limit = share
+                flow._limit = limit
+                if limit < bottleneck:
+                    bottleneck = limit
+            threshold = bottleneck + _EPS
+            progressed = False
+            for flow in wire:
+                if flow._fixed:
+                    continue
+                limit = flow._limit
+                if limit > threshold:
+                    continue
+                flow._fixed = True
+                flow.rate_mbs = limit
+                progressed = True
+                unfixed -= 1
+                lan_residual -= limit
+                if lan_residual < 0.0:
+                    lan_residual = 0.0
+                lan_count -= 1
+                src, dst = flow.src, flow.dst
+                left = residual[src] - limit
+                residual[src] = left if left > 0.0 else 0.0
+                count[src] -= 1
+                left = residual[dst] - limit
+                residual[dst] = left if left > 0.0 else 0.0
+                count[dst] -= 1
+            assert progressed, "progressive filling must fix at least one flow"
 
-    def _reschedule(self) -> None:
-        """Recompute rates and arm a wake-up at the next completion."""
-        self._compute_rates()
+    def _arm_wake(self) -> None:
+        """Arm a wake-up at the next flow-completion instant."""
         self._wake_generation += 1
         generation = self._wake_generation
         next_completion = math.inf
         for flow in self._flows:
             if flow.rate_mbs > 0:
-                next_completion = min(next_completion, flow.remaining_mb / flow.rate_mbs)
+                dt = flow.remaining_mb / flow.rate_mbs
+                if dt < next_completion:
+                    next_completion = dt
         if math.isinf(next_completion):
             return
         wake = self.sim.timeout(next_completion)
@@ -262,5 +366,9 @@ class LAN:
     def _on_wake(self, generation: int) -> None:
         if generation != self._wake_generation:
             return  # superseded by a newer reschedule
+        # Drain now (firing completions before anything else at this
+        # instant), then let the batched flush recompute rates once all
+        # same-instant reactions (e.g. follow-up transfers started by
+        # `done` waiters) have been applied.
         self._advance()
-        self._reschedule()
+        self._mark_dirty(wire=False)

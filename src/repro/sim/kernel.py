@@ -20,11 +20,28 @@ The API is a compact subset of SimPy's:
 >>> sim.run()
 >>> log
 [(1.0, 'b'), (2.0, 'a')]
+
+Hot-path notes
+--------------
+The kernel is the innermost loop of every experiment, so it avoids
+allocations where the event machinery is pure plumbing:
+
+* All event classes use ``__slots__``.
+* Process bootstraps, interrupt delivery, and resumption on an
+  already-processed event do not allocate throwaway :class:`Event`
+  objects.  They push a *direct-resume* heap entry instead —
+  ``(time, priority, seq, None, process, ok, value, exception)`` — which
+  the run loop dispatches straight into :meth:`Process._resume_direct`.
+  Heap entries of both shapes share the ``(time, priority, seq)`` prefix
+  and ``seq`` is unique, so tuple comparison never reaches the payload
+  and the documented firing order is preserved bit-for-bit.
+* :class:`Timeout` schedules itself inline instead of going through the
+  generic ``Event`` constructor plus :meth:`Simulator._schedule`.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -74,6 +91,8 @@ class Event:
     Processes waiting on the event are resumed with the event's value, or
     have the event's exception thrown into them.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_ok", "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -130,7 +149,6 @@ class Event:
     def _resolve(self) -> None:
         """Run callbacks. Called exactly once by the kernel."""
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
         for callback in callbacks:
             callback(self)
 
@@ -146,18 +164,27 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` units of simulated time from now."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ plus scheduling: a Timeout is born
+        # triggered, so it goes straight onto the heap.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, NORMAL, delay)
+        self._exception = None
+        self._ok = True
+        self.delay = delay
+        sim._seq += 1
+        _heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
 
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -191,6 +218,8 @@ class AllOf(_Condition):
     constituent fails.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._ok is not None:
             return
@@ -206,6 +235,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as *any* constituent event fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self._ok is not None:
             return
@@ -218,6 +249,8 @@ class AnyOf(_Condition):
 
 class _ProcessDone(Event):
     """Terminal event of a Process; fires with the generator's return value."""
+
+    __slots__ = ()
 
 
 class Process(Event):
@@ -240,6 +273,8 @@ class Process(Event):
     >>> sim.run()
     """
 
+    __slots__ = ("_generator", "name", "_target", "_resume_cb")
+
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any], name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -247,10 +282,12 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        # Bootstrap: resume immediately (at current sim time).
-        init = Event(sim)
-        init.succeed(None)
-        init.callbacks.append(self._resume)  # type: ignore[union-attr]
+        # One bound method reused for every callback registration; bound
+        # methods compare equal, so interrupt() can still .remove() it.
+        self._resume_cb = self._resume
+        # Bootstrap: resume immediately (at current sim time) via a
+        # direct-resume heap entry (no throwaway Event).
+        sim._schedule_resume(self, True, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -267,60 +304,107 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
-        interrupt_event = Event(self.sim)
-        interrupt_event._ok = False
-        interrupt_event._exception = Interrupt(cause)
-        interrupt_event.callbacks.append(self._resume)  # type: ignore[union-attr]
-        self.sim._schedule(interrupt_event, URGENT)
+        self.sim._schedule_resume(self, False, None, Interrupt(cause))
 
+    # NOTE: _resume and _resume_direct share one body, duplicated on
+    # purpose — this is the innermost step of every simulation and a
+    # delegation call per event costs ~5%.  Keep the two in sync.
     def _resume(self, trigger: Event) -> None:
-        """Advance the generator by one step with ``trigger``'s outcome."""
+        """Advance the generator with ``trigger``'s outcome (callback form)."""
         if self._ok is not None:
             # Process was already finished (e.g. interrupted and completed
             # before a stale event fired); drop the wakeup.
             return
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
+        exception = trigger._exception
         try:
-            if trigger._exception is not None:
-                next_event = self._generator.throw(trigger._exception)
+            if exception is not None:
+                next_event = self._generator.throw(exception)
             else:
                 next_event = self._generator.send(trigger._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             self.fail(exc)
-            if not self.sim._catch_process_failures:
+            if not sim._catch_process_failures:
                 raise
             return
-        self.sim._active_process = None
-        if not isinstance(next_event, Event):
-            error = SimulationError(
-                f"process {self.name!r} yielded non-event {next_event!r}"
+        sim._active_process = None
+        try:
+            callbacks = next_event.callbacks
+        except AttributeError:
+            self._yield_error(next_event)
+            return  # unreachable: _yield_error raises
+        if callbacks is None:
+            # Already processed: resume at the same timestamp via a
+            # direct-resume entry (no throwaway Event allocation).
+            self._target = next_event
+            sim._schedule_resume(
+                self, next_event._ok, next_event._value, next_event._exception
             )
-            self._generator.close()
-            self.fail(error)
-            raise error
-        self._target = next_event
-        if next_event.callbacks is None:
-            # Already processed: resume immediately (same timestamp).
-            immediate = Event(self.sim)
-            immediate._ok = next_event._ok
-            immediate._value = next_event._value
-            immediate._exception = next_event._exception
-            immediate.callbacks.append(self._resume)  # type: ignore[union-attr]
-            self.sim._schedule(immediate, URGENT)
         else:
-            next_event.callbacks.append(self._resume)
+            self._target = next_event
+            callbacks.append(self._resume_cb)
+
+    def _resume_direct(
+        self, ok: Optional[bool], value: Any, exception: Optional[BaseException]
+    ) -> None:
+        """Advance the generator by one step with the given outcome."""
+        if self._ok is not None:
+            # Stale wakeup (see _resume): drop it.
+            return
+        self._target = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if exception is not None:
+                next_event = self._generator.throw(exception)
+            else:
+                next_event = self._generator.send(value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            if not sim._catch_process_failures:
+                raise
+            return
+        sim._active_process = None
+        try:
+            callbacks = next_event.callbacks
+        except AttributeError:
+            self._yield_error(next_event)
+            return  # unreachable: _yield_error raises
+        if callbacks is None:
+            self._target = next_event
+            sim._schedule_resume(
+                self, next_event._ok, next_event._value, next_event._exception
+            )
+        else:
+            self._target = next_event
+            callbacks.append(self._resume_cb)
+
+    def _yield_error(self, yielded: Any) -> None:
+        """Fail the process over a non-event yield (cold path)."""
+        error = SimulationError(f"process {self.name!r} yielded non-event {yielded!r}")
+        self._generator.close()
+        self.fail(error)
+        raise error
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "alive" if self.is_alive else "finished"
@@ -329,6 +413,14 @@ class Process(Event):
 
 class Simulator:
     """Owns the simulated clock and the pending-event heap.
+
+    Heap entries come in two shapes sharing the ``(time, priority, seq)``
+    prefix (``seq`` is unique, so comparisons never reach the payload):
+
+    * ``(time, priority, seq, event)`` — a triggered :class:`Event`
+      whose callbacks run at ``time``.
+    * ``(time, priority, seq, None, process, ok, value, exception)`` — a
+      direct resume of ``process`` with the given outcome.
 
     Parameters
     ----------
@@ -340,7 +432,7 @@ class Simulator:
 
     def __init__(self, catch_process_failures: bool = True):
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._heap: List[tuple] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._catch_process_failures = catch_process_failures
@@ -378,7 +470,34 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        _heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def _schedule_resume(
+        self,
+        process: Process,
+        ok: Optional[bool],
+        value: Any,
+        exception: Optional[BaseException],
+    ) -> None:
+        """Schedule a direct resume of ``process`` at the current instant."""
+        self._seq += 1
+        _heappush(
+            self._heap, (self._now, URGENT, self._seq, None, process, ok, value, exception)
+        )
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at the current instant with URGENT priority.
+
+        The callback fires in ``(time, priority, sequence)`` order like
+        any event, after everything urgent already scheduled.  Used by
+        components (e.g. the LAN's batched rate recomputation) to
+        coalesce several same-instant mutations into one pass.
+        """
+        self._seq += 1
+        _heappush(
+            self._heap,
+            (self._now, URGENT, self._seq, None, _CallbackShim(callback), True, None, None),
+        )
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
@@ -388,11 +507,15 @@ class Simulator:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        when, _priority, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:
+        entry = _heappop(self._heap)
+        if entry[0] < self._now:
             raise SimulationError("event scheduled in the past (kernel bug)")
-        self._now = when
-        event._resolve()
+        self._now = entry[0]
+        target = entry[3]
+        if target is None:
+            entry[4]._resume_direct(entry[5], entry[6], entry[7])
+        else:
+            target._resolve()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains, or the clock reaches ``until``.
@@ -400,15 +523,39 @@ class Simulator:
         When ``until`` is given, the clock is advanced to exactly
         ``until`` even if the last event fires earlier.
         """
+        # The heap-pop loop is inlined (rather than calling step()) — it
+        # is the hottest couple of lines in the entire repository.
+        # Events cannot be scheduled in the past (delay >= 0 always), so
+        # the monotonicity assertion in step() is skipped here.
+        heap = self._heap
+        pop = _heappop
         if until is not None:
             if until < self._now:
                 raise ValueError(f"until={until} is in the past (now={self._now})")
-            while self._heap and self._heap[0][0] <= until:
-                self.step()
+            while heap and heap[0][0] <= until:
+                entry = pop(heap)
+                self._now = entry[0]
+                target = entry[3]
+                if target is None:
+                    entry[4]._resume_direct(entry[5], entry[6], entry[7])
+                else:
+                    callbacks = target.callbacks
+                    target.callbacks = None
+                    for callback in callbacks:
+                        callback(target)
             self._now = until
         else:
-            while self._heap:
-                self.step()
+            while heap:
+                entry = pop(heap)
+                self._now = entry[0]
+                target = entry[3]
+                if target is None:
+                    entry[4]._resume_direct(entry[5], entry[6], entry[7])
+                else:
+                    callbacks = target.callbacks
+                    target.callbacks = None
+                    for callback in callbacks:
+                        callback(target)
 
     def run_until_process(self, process: Process, limit: float = float("inf")) -> Any:
         """Run until ``process`` completes; return its value.
@@ -417,14 +564,37 @@ class Simulator:
         :class:`SimulationError` if the heap drains (deadlock) or the
         clock passes ``limit`` before completion.
         """
+        heap = self._heap
+        pop = _heappop
         while process._ok is None:
-            if not self._heap:
+            if not heap:
                 raise SimulationError(
                     f"deadlock: heap drained before process {process.name!r} finished"
                 )
-            if self._heap[0][0] > limit:
+            if heap[0][0] > limit:
                 raise SimulationError(
                     f"time limit {limit} exceeded waiting for process {process.name!r}"
                 )
-            self.step()
+            entry = pop(heap)
+            self._now = entry[0]
+            target = entry[3]
+            if target is None:
+                entry[4]._resume_direct(entry[5], entry[6], entry[7])
+            else:
+                callbacks = target.callbacks
+                target.callbacks = None
+                for callback in callbacks:
+                    callback(target)
         return process.value
+
+
+class _CallbackShim:
+    """Adapts a zero-argument callback to the direct-resume entry shape."""
+
+    __slots__ = ("_callback",)
+
+    def __init__(self, callback: Callable[[], None]):
+        self._callback = callback
+
+    def _resume_direct(self, ok: Any, value: Any, exception: Any) -> None:
+        self._callback()

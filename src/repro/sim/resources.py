@@ -25,6 +25,8 @@ __all__ = ["Resource", "Container", "Store"]
 class _Request(Event):
     """Event handed to a waiter; fires when the resource is acquired."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, sim: Simulator, resource: "Resource"):
         super().__init__(sim)
         self.resource = resource

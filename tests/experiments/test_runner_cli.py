@@ -31,3 +31,51 @@ def test_cli_unknown_experiment():
 def test_cli_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- parallel `all` mode ------------------------------------------------------
+
+@pytest.fixture
+def small_registry(monkeypatch):
+    """Shrink the registry to two quick experiments for parallel tests."""
+    import repro.experiments.runner as runner
+    from repro.experiments import table1_requirements, table4_syscall
+
+    monkeypatch.setattr(
+        runner,
+        "EXPERIMENTS",
+        {
+            table1_requirements.EXPERIMENT_ID: table1_requirements.run,
+            table4_syscall.EXPERIMENT_ID: table4_syscall.run,
+        },
+    )
+    return runner
+
+
+def test_run_all_parallel_matches_serial(small_registry):
+    serial = small_registry.run_all([0, 1], fast=True, parallel=1)
+    fanned = small_registry.run_all([0, 1], fast=True, parallel=2)
+    assert serial == fanned
+    # Merged in registry order, seeds inner.
+    assert [(eid, seed) for eid, seed, _text, _ok in fanned] == [
+        ("table1", 0), ("table1", 1), ("table4", 0), ("table4", 1)
+    ]
+    assert all(ok for _eid, _seed, _text, ok in fanned)
+
+
+def test_cli_all_parallel(small_registry, capsys):
+    assert main(["all", "--parallel", "2", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "512MHz" in out and "gettimeofday" in out
+    assert "all experiments within tolerance" in out
+
+
+def test_cli_flags_imply_all(small_registry, capsys):
+    assert main(["--parallel", "2", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "all experiments within tolerance" in out
+
+
+def test_cli_parallel_rejects_zero_workers(small_registry):
+    with pytest.raises(SystemExit):
+        main(["all", "--parallel", "0"])

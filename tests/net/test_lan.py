@@ -161,13 +161,19 @@ def test_loopback_bypasses_lan():
     assert loop.finished_at < 1.0  # loopback is much faster than the wire
 
 
-def test_zero_size_transfer_completes_after_latency():
+def test_zero_and_negative_size_transfers_rejected():
     sim, lan = make_lan(latency=0.1)
     a, b = lan.nic("a", 100.0), lan.nic("b", 100.0)
-    flow = lan.transfer(a, b, size_mb=0.0)
+    with pytest.raises(ValueError, match="size must be positive"):
+        lan.transfer(a, b, size_mb=0.0)
+    with pytest.raises(ValueError, match="size must be positive"):
+        lan.transfer(a, b, size_mb=-0.5)
+    # A rejected transfer must leave no residue behind: the LAN still
+    # carries later flows normally.
+    flow = lan.transfer(a, b, size_mb=1.25)
     sim.run()
     assert flow.done.triggered
-    assert flow.finished_at == pytest.approx(0.1)
+    assert not lan.active_flows
 
 
 def test_latency_added_to_completion():
