@@ -202,11 +202,15 @@ class VirtualServiceNode:
                 caps.append(self.host.nic.rate_mbps * UML_NETWORK_EFFICIENCY)
             cap = min(caps) if caps else None
             wire_mb = request.response_mb / TCP_EFFICIENCY
-            flow = self.lan.transfer(
-                self.host.nic, request.client, wire_mb, rate_cap_mbps=cap,
-                label=f"{self.name}:resp",
-            )
-            yield flow.done
+            if wire_mb > 0:
+                flow = self.lan.transfer(
+                    self.host.nic, request.client, wire_mb, rate_cap_mbps=cap,
+                    label=f"{self.name}:resp",
+                )
+                yield flow.done
+            else:
+                # Empty body: header-only response, one propagation delay.
+                yield self.sim.timeout(self.lan.latency_s)
             self.served += 1
             response = NodeResponse(
                 node_name=self.name,

@@ -117,15 +117,21 @@ class HttpModel:
         if server_time_s > 0:
             yield self.sim.timeout(server_time_s)
         # Response body server -> client, inflated for protocol overhead.
+        # An empty body puts nothing on the wire (the LAN model rejects
+        # zero-size flows); the header-only response is modelled as one
+        # propagation latency.
         wire_mb = response_mb / TCP_EFFICIENCY
-        response_flow = self.lan.transfer(
-            session.server,
-            session.client,
-            wire_mb,
-            rate_cap_mbps=rate_cap_mbps,
-            label=f"{label}:resp",
-        )
-        yield response_flow.done
+        if wire_mb > 0:
+            response_flow = self.lan.transfer(
+                session.server,
+                session.client,
+                wire_mb,
+                rate_cap_mbps=rate_cap_mbps,
+                label=f"{label}:resp",
+            )
+            yield response_flow.done
+        else:
+            yield self.sim.timeout(self.lan.latency_s)
         session.requests_served += 1
         return HttpTransferStats(
             started_at=started,

@@ -23,14 +23,24 @@ and batched:
 
 * Mutations only mark the LAN dirty; one flush — scheduled at the same
   instant with URGENT priority via ``Simulator.call_soon`` — drains the
-  fluid state and recomputes rates once, no matter how many same-instant
-  arrivals/departures/cap changes occurred.
+  fluid state and recomputes rates once for all mutations made before
+  the flush fires.  Because the flush runs at URGENT priority, it sorts
+  ahead of same-instant NORMAL-priority events: a mutation made by a
+  *later* event at the same instant re-arms another flush.  Results are
+  identical either way; the coalescing bounds the number of max-min
+  passes per instant by the number of urgent batches, not by the number
+  of flow mutations.
+* All rate assignment happens inside the flush, never at mutation time:
+  the flush first drains every flow at its *old* rate up to now, then
+  assigns new rates.  (A new flow therefore carries rate 0 until the
+  flush — assigning eagerly would let the drain charge the new rate
+  over time before the flow existed.)
 * Per-NIC active-flow sets are maintained on arrival/departure, so the
   progressive-filling pass seeds its residual/share-count tables directly
   instead of rebuilding them from scratch.
 * Bottleneck groups are recomputed selectively: loopback flows form
-  singleton groups whose rate (``min(cap, loopback)``) is assigned
-  directly on arrival, and the wire group (all flows sharing the LAN
+  singleton groups whose rate is ``min(cap, loopback)`` independent of
+  every other flow, and the wire group (all flows sharing the LAN
   segment) is only re-filled when a *wire* flow arrives, departs, or
   changes cap — loopback churn never triggers a max-min pass.
 """
@@ -123,7 +133,7 @@ class Flow:
             raise ValueError(f"rate cap must be positive, got {rate_cap_mbps}")
         self.rate_cap_mbps = rate_cap_mbps
         self._cap_mbs = math.inf if rate_cap_mbps is None else rate_cap_mbps / 8.0
-        self.lan._mark_dirty(wire=not self._loopback)
+        self.lan._mark_dirty(wire=not self._loopback, loopback=self._loopback)
 
     @property
     def elapsed(self) -> float:
@@ -165,6 +175,7 @@ class LAN:
         self._wake_generation = 0
         self._flush_pending = False
         self._wire_dirty = False
+        self._loopback_dirty = False
 
     # -- topology ---------------------------------------------------------
     def nic(self, name: str, rate_mbps: Optional[float] = None) -> NetworkInterface:
@@ -207,10 +218,12 @@ class LAN:
         flow = Flow(self, src, dst, size_mb, rate_cap_mbps, label)
         self._flows.append(flow)
         if flow._loopback:
-            # Singleton bottleneck group: the rate is independent of
-            # every other flow, so assign it directly — no max-min pass.
-            flow.rate_mbs = min(flow._cap_mbs, _LOOPBACK_RATE_MBS)
-            self._mark_dirty(wire=False)
+            # Singleton bottleneck group — but the rate is assigned in
+            # the flush (after the drain settles ``_last_update``), not
+            # here: a rate granted before the flush would be charged
+            # over the whole interval since the last drain, pre-draining
+            # the flow for time before it existed.
+            self._mark_dirty(loopback=True)
         else:
             self._wire.append(flow)
             self._nic_flows.setdefault(src, set()).add(flow)
@@ -219,10 +232,12 @@ class LAN:
         return flow
 
     # -- fluid-model internals ----------------------------------------------
-    def _mark_dirty(self, wire: bool) -> None:
+    def _mark_dirty(self, wire: bool = False, loopback: bool = False) -> None:
         """Note a flow-set/cap mutation; coalesce same-instant flushes."""
         if wire:
             self._wire_dirty = True
+        if loopback:
+            self._loopback_dirty = True
         if not self._flush_pending:
             self._flush_pending = True
             self.sim.call_soon(self._flush)
@@ -231,6 +246,11 @@ class LAN:
         """Drain, recompute affected groups, and re-arm the wake-up."""
         self._flush_pending = False
         self._advance()
+        if self._loopback_dirty:
+            self._loopback_dirty = False
+            for flow in self._flows:
+                if flow._loopback:
+                    flow.rate_mbs = min(flow._cap_mbs, _LOOPBACK_RATE_MBS)
         if self._wire_dirty:
             self._wire_dirty = False
             self._compute_wire_rates()
@@ -371,4 +391,4 @@ class LAN:
         # same-instant reactions (e.g. follow-up transfers started by
         # `done` waiters) have been applied.
         self._advance()
-        self._mark_dirty(wire=False)
+        self._mark_dirty()

@@ -147,7 +147,14 @@ class Event:
         return self
 
     def _resolve(self) -> None:
-        """Run callbacks. Called exactly once by the kernel."""
+        """Run callbacks. Called exactly once by the kernel.
+
+        NOTE: the hot loops in :meth:`Simulator.run` and
+        :meth:`Simulator.run_until_process` inline this body instead of
+        calling it (only :meth:`Simulator.step` dispatches here), so
+        subclasses must not override it — an override would only take
+        effect under ``step()``.
+        """
         callbacks, self.callbacks = self.callbacks, None
         for callback in callbacks:
             callback(self)

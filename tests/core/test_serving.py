@@ -30,6 +30,16 @@ def test_request_served_end_to_end(testbed):
     assert record.nodes[0].served == 1
 
 
+def test_zero_size_response_served(testbed):
+    """A header-only (empty body) response is valid: the node skips the
+    wire flow and still completes the request."""
+    _, record = create_service(testbed)
+    client = testbed.add_client("client-1")
+    response = serve_one(testbed, record, client, response_mb=0.0)
+    assert response.response_mb == 0.0
+    assert record.nodes[0].served == 1
+
+
 def test_response_time_grows_with_dataset_size(testbed):
     _, record = create_service(testbed)
     client = testbed.add_client("client-1")

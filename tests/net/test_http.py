@@ -102,6 +102,27 @@ def test_exchange_validation():
         sim2.run()
 
 
+def test_zero_size_response_allowed():
+    """A zero-length body is a valid exchange (header-only response):
+    nothing goes on the wire and delivery costs one propagation delay,
+    even though the LAN model itself rejects zero-size flows."""
+    sim, lan, http, client, server = build(latency=0.01)
+    session = http.session(client, server)
+    stats = []
+
+    def proc(sim):
+        s = yield from http.exchange(session, response_mb=0.0)
+        stats.append(s)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert len(stats) == 1
+    assert stats[0].payload_mb == 0.0
+    assert stats[0].elapsed > 0
+    assert session.requests_served == 1
+    assert not lan.active_flows
+
+
 def test_goodput_reported():
     sim, lan, http, client, server = build(bandwidth=100.0)
     stats = run_download(sim, http, client, server, size_mb=12.5)

@@ -161,6 +161,55 @@ def test_loopback_bypasses_lan():
     assert loop.finished_at < 1.0  # loopback is much faster than the wire
 
 
+def test_loopback_after_idle_not_pre_drained():
+    """Regression: a loopback flow started after an idle interval must
+    not be drained for time before it existed (rates are assigned in the
+    batched flush, after the drain settles, never at transfer time)."""
+    sim, lan = make_lan()
+    a = lan.nic("a", 100.0)
+
+    def late(sim):
+        yield sim.timeout(5.0)
+        flow = lan.transfer(a, a, size_mb=100.0)
+        yield flow.done
+        return flow
+
+    proc = sim.process(late(sim))
+    sim.run()
+    # 100 MB at the 500 MB/s loopback rate = 0.2 s, starting at t=5.
+    assert proc.value.finished_at == pytest.approx(5.2)
+
+
+def test_set_rate_cap_on_loopback_flow():
+    """Regression: a mid-flight cap change must apply to loopback flows
+    too, not just wire flows."""
+    sim, lan = make_lan()
+    a = lan.nic("a", 1000.0)
+    flow = lan.transfer(a, a, size_mb=500.0)
+
+    def throttle(sim):
+        yield sim.timeout(0.5)  # 250 MB drained at 500 MB/s
+        flow.set_rate_cap(80.0)  # remaining 250 MB at 10 MB/s -> 25 s
+
+    sim.process(throttle(sim))
+    sim.run()
+    assert flow.finished_at == pytest.approx(25.5)
+
+
+def test_uncap_loopback_flow_restores_full_rate():
+    sim, lan = make_lan()
+    a = lan.nic("a", 1000.0)
+    flow = lan.transfer(a, a, size_mb=100.0, rate_cap_mbps=80.0)  # 10 MB/s
+
+    def uncap(sim):
+        yield sim.timeout(5.0)  # 50 MB drained
+        flow.set_rate_cap(None)  # remaining 50 MB at 500 MB/s -> 0.1 s
+
+    sim.process(uncap(sim))
+    sim.run()
+    assert flow.finished_at == pytest.approx(5.1)
+
+
 def test_zero_and_negative_size_transfers_rejected():
     sim, lan = make_lan(latency=0.1)
     a, b = lan.nic("a", 100.0), lan.nic("b", 100.0)
