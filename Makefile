@@ -1,6 +1,6 @@
 # Convenience targets for the SODA reproduction.
 
-.PHONY: install test lint bench bench-compare bench-pytest experiments report examples all
+.PHONY: install test lint bench bench-compare bench-pytest experiments report examples obs-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -34,5 +34,9 @@ examples:
 	python examples/capacity_planning.py
 	python examples/diurnal_autoscaler.py
 	python examples/sla_tiers.py
+	python examples/observability.py
+
+obs-demo:
+	PYTHONPATH=src python examples/observability.py obs-demo
 
 all: test bench

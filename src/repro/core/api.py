@@ -23,6 +23,7 @@ from repro.host.machine import Host, make_seattle, make_tacoma
 from repro.net.ip import IPAddressPool, check_disjoint
 from repro.net.lan import LAN, NetworkInterface
 from repro.image.repository import ImageRepository
+from repro.obs import active as active_observability
 from repro.sim.kernel import Process, Simulator
 from repro.sim.rng import RandomStreams
 
@@ -44,6 +45,12 @@ class HUPTestbed:
         inflation: float = SLOWDOWN_INFLATION,
     ):
         self.sim = Simulator()
+        # Ambient observability: a hub activated around experiment code
+        # attaches to every testbed built inside the `with` block, so
+        # experiments need no per-call plumbing to be traced.
+        hub = active_observability()
+        if hub is not None:
+            hub.attach(self.sim)
         self.streams = RandomStreams(seed)
         self.lan = LAN(self.sim, bandwidth_mbps=lan_bandwidth_mbps, latency_s=lan_latency_s)
         self.hosts: Dict[str, Host] = {}

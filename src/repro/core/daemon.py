@@ -32,6 +32,7 @@ from repro.image.repository import ImageRepository, UnknownImage
 from repro.net.http import HttpModel
 from repro.net.ip import IPAddressPool, IPPoolExhausted
 from repro.net.lan import LAN
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Event, Simulator
 from repro.sim.trace import trace
 
@@ -67,6 +68,17 @@ class SODADaemon:
     def report_availability(self) -> ResourceVector:
         return self.host.reservations.available
 
+    # -- observability --------------------------------------------------------
+    def _obs_stage(self, stage: str) -> None:
+        """Count one priming stage reached (observes, never perturbs)."""
+        registry = registry_of(self.sim)
+        if registry is not None:
+            registry.counter(
+                "soda_daemon_priming_total",
+                "Service-priming stages reached, by host.",
+                ("host", "stage"),
+            ).inc(host=self.host.name, stage=stage)
+
     # -- priming ------------------------------------------------------------
     def prime(
         self,
@@ -95,11 +107,13 @@ class SODADaemon:
             )
         except ReservationError as exc:
             trace(self.sim, "priming", "reservation failed", node=node_name)
+            self._obs_stage("reservation_failed")
             raise PrimingError(f"{node_name}: reservation failed: {exc}") from exc
         trace(
             self.sim, "priming", "slice reserved",
             node=node_name, host=self.host.name, units=units,
         )
+        self._obs_stage("slice_reserved")
 
         ip = None
         vm = None
@@ -118,6 +132,7 @@ class SODADaemon:
                 node=node_name, image=image_name,
                 mb=round(image.size_mb, 1), seconds=round(download.elapsed, 3),
             )
+            self._obs_stage("image_downloaded")
 
             # Customization + automatic bootstrapping (§4.3).  For a
             # partitionable service, each node boots only its own
@@ -142,10 +157,12 @@ class SODADaemon:
                 node=node_name, services=len(tailored.services),
                 mb=round(tailored.size_mb, 1),
             )
+            self._obs_stage("rootfs_tailored")
             try:
                 yield from vm.boot(self.boot_model)
             except Exception as exc:
                 trace(self.sim, "priming", "boot failed", node=node_name)
+                self._obs_stage("boot_failed")
                 raise PrimingError(f"{node_name}: boot failed: {exc}") from exc
             assert vm.boot_plan is not None
             trace(
@@ -153,6 +170,7 @@ class SODADaemon:
                 node=node_name, seconds=round(vm.boot_plan.total_s, 2),
                 ramdisk=vm.boot_plan.ramdisk,
             )
+            self._obs_stage("guest_booted")
 
             # Dynamic configuration for internetworking (§4.3).
             try:
@@ -195,6 +213,7 @@ class SODADaemon:
                 self.sim, "priming", "node primed",
                 node=node_name, ip=ip, entrypoint=entrypoint,
             )
+            self._obs_stage("node_primed")
             return node
         except PrimingError:
             # Roll back whatever was acquired.

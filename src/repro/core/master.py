@@ -42,6 +42,7 @@ from repro.core.service import ServiceRecord, ServiceState
 from repro.core.switch import ServiceSwitch
 from repro.image.repository import ImageRepository
 from repro.net.lan import LAN
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Event, Simulator
 from repro.sim.trace import trace
 
@@ -73,6 +74,17 @@ class SODAMaster:
         self.strategy = strategy
         self.inflation = inflation
         self.services: Dict[str, ServiceRecord] = {}
+
+    # -- observability --------------------------------------------------------
+    def _obs_admission(self, outcome: str) -> None:
+        """Count one admission decision (observes, never perturbs)."""
+        registry = registry_of(self.sim)
+        if registry is not None:
+            registry.counter(
+                "soda_master_admissions_total",
+                "Service admission decisions by the SODA Master.",
+                ("outcome",),
+            ).inc(outcome=outcome)
 
     # -- availability -------------------------------------------------------
     def collect_availability(self):
@@ -112,13 +124,18 @@ class SODAMaster:
             raise InvalidRequestError(f"service {service_name!r} already hosted")
         if image_name not in repository:
             raise InvalidRequestError(f"image {image_name!r} not published")
-        if sla is not None:
-            from repro.sla.enforcement import check_admissible
+        try:
+            if sla is not None:
+                from repro.sla.enforcement import check_admissible
 
-            check_admissible(sla, requirement)
-        plan = plan_allocation(
-            requirement, self.collect_availability(), self.strategy, self.inflation
-        )
+                check_admissible(sla, requirement)
+            plan = plan_allocation(
+                requirement, self.collect_availability(), self.strategy, self.inflation
+            )
+        except AdmissionError:
+            self._obs_admission("rejected")
+            raise
+        self._obs_admission("admitted")
         trace(
             self.sim, "master", "service admitted",
             service=service_name, requirement=str(requirement),

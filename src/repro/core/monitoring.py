@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.core.master import SODAMaster
 from repro.core.service import ServiceRecord
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import TimeWeightedMonitor
 
@@ -175,10 +176,21 @@ class UtilisationSampler:
     def _run(self, duration_s: float):
         deadline = self.sim.now + duration_s
         while self.sim.now < deadline:
-            for name, daemon in self.master.daemons.items():
-                self.cpu[name].set(
-                    self.sim.now, daemon.host.reservations.utilisation()["cpu"]
+            registry = registry_of(self.sim)
+            gauge = (
+                registry.gauge(
+                    "soda_host_cpu_reserved_ratio",
+                    "Reserved CPU fraction per HUP host (sampled).",
+                    ("host",),
                 )
+                if registry is not None
+                else None
+            )
+            for name, daemon in self.master.daemons.items():
+                utilisation = daemon.host.reservations.utilisation()["cpu"]
+                self.cpu[name].set(self.sim.now, utilisation)
+                if gauge is not None:
+                    gauge.set(utilisation, host=name)
             yield self.sim.timeout(self.period_s)
 
     def mean_cpu(self, host_name: str, start: float, end: float) -> float:

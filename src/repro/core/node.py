@@ -18,10 +18,12 @@ speed — exactly the intent of the paper's inflation factor
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from repro.core.errors import SODAError
+from repro.obs.metrics import registry_of
+from repro.obs.tracing import tracer_of
 from repro.guestos.syscall import SyscallMix
 from repro.guestos.uml import UML_NETWORK_EFFICIENCY, UserModeLinux
 from repro.host.bridge import Endpoint, ProxyModule
@@ -53,6 +55,11 @@ class Request:
 
     ``component`` targets one component of a partitionable service
     (§3.5 extension); empty means any replica can serve it.
+
+    ``trace`` carries the request's root :class:`~repro.obs.tracing.Span`
+    (or ``None`` when tracing is off) across the serving path so every
+    hop parents its segment spans correctly; it is excluded from
+    equality, being observability context rather than request content.
     """
 
     client: Any  # NetworkInterface of the requesting client
@@ -61,6 +68,7 @@ class Request:
     is_exploit: bool = False
     label: str = ""
     component: str = ""
+    trace: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.response_mb < 0:
@@ -136,6 +144,36 @@ class VirtualServiceNode:
         self.failed = 0
         self.response_times = Monitor(f"{name}:service")
         self.torn_down = False
+        # Observability: metric children bound lazily against the
+        # registry attached to the simulator (rebound if it changes).
+        self._obs_cache: Optional[tuple] = None
+
+    # -- observability (observes, never perturbs) -----------------------------
+    def _obs_metrics(self) -> Optional[tuple]:
+        """(inflight gauge child, served child, failed child) or None."""
+        registry = registry_of(self.sim)
+        if registry is None:
+            return None
+        if self._obs_cache is None or self._obs_cache[0] is not registry:
+            self._obs_cache = (
+                registry,
+                registry.gauge(
+                    "soda_node_inflight",
+                    "Requests currently inside each virtual service node.",
+                    ("node",),
+                ).labels(node=self.name),
+                registry.counter(
+                    "soda_node_served_total",
+                    "Requests served to completion by each node.",
+                    ("node",),
+                ).labels(node=self.name),
+                registry.counter(
+                    "soda_node_failed_total",
+                    "Requests failed at each node (down or died while queued).",
+                    ("node",),
+                ).labels(node=self.name),
+            )
+        return self._obs_cache
 
     @property
     def host(self):
@@ -164,23 +202,49 @@ class VirtualServiceNode:
         vulnerable service (the node is compromised but NOT crashed —
         the attacker decides what to do with its shell).
         """
+        obs = self._obs_metrics()
         if not self.is_available:
             self.failed += 1
+            if obs is not None:
+                obs[3].inc()
             raise ServiceUnavailableError(f"node {self.name} is not running")
         started = self.sim.now
+        # Observability: the node contributes the queue_wait, cpu_service
+        # and tx segments of the request's trace, each starting exactly
+        # where the previous one ended so the segments tile the request.
+        tracer = tracer_of(self.sim)
+        root = request.trace if tracer is not None else None
+        queue_span = cpu_span = tx_span = None
+        if root is not None:
+            queue_span = tracer.start_span(
+                "queue_wait", lane=self.name, start=started, parent=root
+            )
         self.inflight += 1
+        if obs is not None:
+            obs[1].inc()
         slot = self.workers.request()
         try:
             yield slot
             if not self.is_available:
                 # Crashed while queued.
                 self.failed += 1
+                if obs is not None:
+                    obs[3].inc()
+                if queue_span is not None:
+                    queue_span.finish(self.sim.now, "failed")
                 raise ServiceUnavailableError(f"node {self.name} died while queued")
             if request.is_exploit and self.vulnerable:
                 # ghttpd buffer overflow: bind a shell as *guest* root.
+                if queue_span is not None:
+                    queue_span.finish(self.sim.now, "failed")
                 self.vm.exploit()
                 self.vm.processes.spawn(command="/bin/sh (bound shell)", uid=0, user="root")
                 raise ExploitSucceeded(self)
+            if queue_span is not None:
+                queue_span.finish(self.sim.now)
+                cpu_span = tracer.start_span(
+                    "cpu_service", lane=self.name, start=self.sim.now, parent=root
+                )
             service_time = self.vm.syscalls.mix_time_s(
                 request.mix, self.worker_mhz, in_uml=not self.native
             )
@@ -189,6 +253,11 @@ class VirtualServiceNode:
                     request.response_mb, self.host.cpu_mhz
                 )
             yield self.sim.timeout(service_time)
+            if cpu_span is not None:
+                cpu_span.finish(self.sim.now)
+                tx_span = tracer.start_span(
+                    "tx", lane=self.name, start=self.sim.now, parent=root
+                )
             # Response body: node's host NIC -> client, shaped per the
             # guest's source IP.  A UML guest additionally cannot drive
             # the wire at full rate (§3.2's network-transmission
@@ -211,7 +280,11 @@ class VirtualServiceNode:
             else:
                 # Empty body: header-only response, one propagation delay.
                 yield self.sim.timeout(self.lan.latency_s)
+            if tx_span is not None:
+                tx_span.finish(self.sim.now)
             self.served += 1
+            if obs is not None:
+                obs[2].inc()
             response = NodeResponse(
                 node_name=self.name,
                 started_at=started,
@@ -223,6 +296,8 @@ class VirtualServiceNode:
             return response
         finally:
             self.inflight -= 1
+            if obs is not None:
+                obs[1].dec()
             self.workers.release(slot)
 
     # -- lifecycle ------------------------------------------------------------

@@ -30,6 +30,7 @@ outcome — ``(time, latency, "ok" | "failed" | "shed")`` — as it happens.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.config import ServiceConfigFile
@@ -40,6 +41,8 @@ from repro.core.node import (
     ServiceUnavailableError,
     VirtualServiceNode,
 )
+from repro.obs.metrics import registry_of
+from repro.obs.tracing import tracer_of
 from repro.core.policies import SwitchingPolicy, WeightedRoundRobinPolicy
 from repro.net.http import REQUEST_SIZE_MB
 from repro.net.lan import LAN
@@ -89,6 +92,45 @@ class ServiceSwitch:
         # listeners tap the per-request outcome stream.
         self.shedder: Optional[Any] = None
         self._outcome_listeners: List[Callable[[float, Optional[float], str], None]] = []
+        # Observability: metric children bound against whichever registry
+        # is attached to the simulator (rebound if it changes).
+        self._obs_cache: Optional[tuple] = None
+
+    # -- observability (observes, never perturbs) ----------------------------
+    def _obs_metrics(self) -> Optional[tuple]:
+        """(outcome counter, latency histogram, per-node counter) or None."""
+        registry = registry_of(self.sim)
+        if registry is None:
+            return None
+        if self._obs_cache is None or self._obs_cache[0] is not registry:
+            self._obs_cache = (
+                registry,
+                registry.counter(
+                    "soda_switch_requests_total",
+                    "Requests seen by a service switch, by outcome.",
+                    ("service", "outcome"),
+                ),
+                registry.histogram(
+                    "soda_switch_response_seconds",
+                    "Client-visible response time through the switch.",
+                    ("service",),
+                ),
+                registry.counter(
+                    "soda_switch_dispatch_total",
+                    "Requests dispatched to each back-end node.",
+                    ("service", "node"),
+                ),
+            )
+        return self._obs_cache
+
+    def _obs_outcome(self, outcome: str, latency_s: Optional[float] = None) -> None:
+        cache = self._obs_metrics()
+        if cache is None:
+            return
+        _registry, requests, latency, _dispatch = cache
+        requests.inc(service=self.service_name, outcome=outcome)
+        if latency_s is not None:
+            latency.observe(latency_s, service=self.service_name)
 
     # -- SLA hooks (extension) ----------------------------------------------
     def add_outcome_listener(
@@ -166,6 +208,22 @@ class ServiceSwitch:
         if self.home_node.torn_down:
             raise ServiceUnavailableError(f"switch of {self.service_name!r} is gone")
         started = self.sim.now
+        # Observability: open the dispatch segment (and, for requests
+        # arriving without a workload-created root span, the root too).
+        # Spans only read the clock — the timing model is untouched.
+        tracer = tracer_of(self.sim)
+        lane = f"switch:{self.service_name}"
+        root = dispatch = None
+        owns_root = False
+        if tracer is not None:
+            root = request.trace
+            if root is None:
+                owns_root = True
+                root = tracer.start_span(
+                    "request", lane=lane, start=started, service=self.service_name
+                )
+                request = replace(request, trace=root)
+            dispatch = tracer.start_span("dispatch", lane=lane, start=started, parent=root)
         # 1. Client -> switch home node.
         inbound = self.lan.transfer(
             request.client, self.home_node.host.nic, REQUEST_SIZE_MB,
@@ -177,6 +235,8 @@ class ServiceSwitch:
         if self.shedder is not None and self.shedder.should_shed(self):
             self.shedded += 1
             self._notify(None, "shed")
+            self._obs_outcome("shed")
+            self._finish_spans(dispatch, root if owns_root else None, "shed")
             raise RequestSheddedError(
                 f"service {self.service_name!r} shed a request under load"
             )
@@ -191,6 +251,8 @@ class ServiceSwitch:
                 backend = self.select(request)
             except ServiceUnavailableError:
                 self._notify(None, "failed")
+                self._obs_outcome("failed")
+                self._finish_spans(dispatch, root if owns_root else None, "failed")
                 raise
         finally:
             self._dispatcher.release(slot)
@@ -203,6 +265,14 @@ class ServiceSwitch:
         # 4. Back-end serves; response returns directly to the client.
         self.dispatched += 1
         self.per_node_count[backend.name] = self.per_node_count.get(backend.name, 0) + 1
+        cache = self._obs_metrics()
+        if cache is not None:
+            cache[3].inc(service=self.service_name, node=backend.name)
+        if dispatch is not None:
+            # The back-end process bootstraps at this same instant, so
+            # closing the dispatch segment here makes it contiguous with
+            # the node's queue_wait segment.
+            dispatch.finish(self.sim.now).annotate(node=backend.name)
         try:
             response = yield self.sim.process(
                 backend.serve(request), name=f"serve:{backend.name}"
@@ -210,8 +280,21 @@ class ServiceSwitch:
         except SODAError:
             self.rejected += 1
             self._notify(None, "failed")
+            self._obs_outcome("failed")
+            self._finish_spans(None, root if owns_root else None, "failed")
             raise
         elapsed = self.sim.now - started
         self.response_times.record(self.sim.now, elapsed)
         self._notify(elapsed, "ok")
+        self._obs_outcome("ok", elapsed)
+        if owns_root:
+            root.finish(self.sim.now).annotate(node=response.node_name)
         return response
+
+    def _finish_spans(self, dispatch, root, status: str) -> None:
+        """Close still-open spans on an error path (no-op for None)."""
+        now = self.sim.now
+        if dispatch is not None and not dispatch.finished:
+            dispatch.finish(now, status)
+        if root is not None and not root.finished:
+            root.finish(now, status)

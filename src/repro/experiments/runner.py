@@ -11,11 +11,20 @@ jobs are fully independent); output is merged in registry order, so a
 parallel run prints exactly what the serial run would.  Invoking the
 CLI with only flags (``python -m repro.experiments.runner --parallel
 4``) implies the ``all`` subcommand.
+
+Observability (``run`` and ``all``): ``--profile`` appends a kernel
+wall-time profile to each experiment's output, ``--trace-out DIR``
+writes per-job span and Chrome-trace JSON files, and ``--metrics-out
+DIR`` writes per-job Prometheus text dumps — all readable with the
+``soda-obs`` CLI.  Instrumentation observes without perturbing, so
+results (and the determinism digests) are identical with or without
+these flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import traceback
 from typing import Callable, Dict, List, Optional, Tuple
@@ -87,36 +96,86 @@ def run_experiment(experiment_id: str, seed: int = 0, fast: bool = False) -> Exp
     return experiments[experiment_id](seed=seed, fast=fast)
 
 
-def _worker(job: Tuple[str, int, bool]) -> Tuple[str, int, str, bool]:
-    """Run one (experiment, seed) job; never raises (for pool transport)."""
-    experiment_id, seed, fast = job
-    try:
+def _run_observed(
+    experiment_id: str,
+    seed: int,
+    fast: bool,
+    profile: bool,
+    trace_out: Optional[str],
+    metrics_out: Optional[str],
+) -> Tuple[str, bool]:
+    """Run one job with the requested observability pillars active.
+
+    Tracing and metrics are only enabled when an output directory asks
+    for them, so plain runs build no observability state at all.
+    """
+    if not (profile or trace_out or metrics_out):
         result = run_experiment(experiment_id, seed=seed, fast=fast)
-        return experiment_id, seed, result.render(), result.all_within_tolerance
+        return result.render(), result.all_within_tolerance
+    from repro.obs import Observability
+
+    hub = Observability(
+        tracing=trace_out is not None, metrics=metrics_out is not None, profile=profile
+    )
+    with hub.activate():
+        result = run_experiment(experiment_id, seed=seed, fast=fast)
+    text = result.render()
+    stem = f"{experiment_id}-seed{seed}"
+    if trace_out is not None:
+        os.makedirs(trace_out, exist_ok=True)
+        hub.write_spans(os.path.join(trace_out, f"{stem}.spans.json"))
+        hub.write_chrome_trace(os.path.join(trace_out, f"{stem}.chrome.json"))
+    if metrics_out is not None:
+        os.makedirs(metrics_out, exist_ok=True)
+        hub.write_prometheus(os.path.join(metrics_out, f"{stem}.prom"))
+    if profile:
+        text += "\n\n" + hub.kernel_profile()
+    return text, result.all_within_tolerance
+
+
+def _worker(
+    job: Tuple[str, int, bool, bool, Optional[str], Optional[str]]
+) -> Tuple[str, int, str, bool]:
+    """Run one (experiment, seed) job; never raises (for pool transport)."""
+    experiment_id, seed, fast, profile, trace_out, metrics_out = job
+    try:
+        text, ok = _run_observed(
+            experiment_id, seed, fast, profile, trace_out, metrics_out
+        )
+        return experiment_id, seed, text, ok
     except Exception:
         return experiment_id, seed, traceback.format_exc(), False
 
 
 def run_all(
-    seeds: List[int], fast: bool = False, parallel: int = 1
+    seeds: List[int],
+    fast: bool = False,
+    parallel: int = 1,
+    profile: bool = False,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> List[Tuple[str, int, str, bool]]:
     """Run every experiment for every seed; returns (id, seed, text, ok).
 
     With ``parallel > 1`` the jobs are fanned across worker processes.
     Results are merged back in registry order (seeds inner), so the
     returned list — and anything printed from it — is identical to a
-    serial run's.
+    serial run's.  The observability options apply per job (one span /
+    metrics file per experiment and seed), and ride through the job
+    tuples so parallel workers honour them too.
     """
-    jobs = [(eid, seed, fast) for eid in _experiments() for seed in seeds]
+    jobs = [
+        (eid, seed, fast, profile, trace_out, metrics_out)
+        for eid in _experiments()
+        for seed in seeds
+    ]
     if parallel > 1 and len(jobs) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(parallel, len(jobs))) as pool:
             finished = list(pool.map(_worker, jobs))
         merged = {(eid, seed): (text, ok) for eid, seed, text, ok in finished}
-        return [
-            (eid, seed) + merged[(eid, seed)] for eid, seed, _fast in jobs
-        ]
+        return [(job[0], job[1]) + merged[(job[0], job[1])] for job in jobs]
     return [_worker(job) for job in jobs]
 
 
@@ -130,10 +189,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
+    def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile", action="store_true",
+            help="append a kernel wall-time profile to the output",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="DIR",
+            help="write span + Chrome trace JSON per job into DIR",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="DIR",
+            help="write a Prometheus text dump per job into DIR",
+        )
+
     run_parser = sub.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment_id")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--fast", action="store_true")
+    _add_obs_flags(run_parser)
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--seed", type=int, default=0)
     all_parser.add_argument(
@@ -145,6 +219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--parallel", type=int, default=1, metavar="N",
         help="fan jobs across N worker processes (default: serial)",
     )
+    _add_obs_flags(all_parser)
     report_parser = sub.add_parser("report", help="emit EXPERIMENTS.md markdown")
     report_parser.add_argument("--seed", type=int, default=0)
     report_parser.add_argument("--fast", action="store_true")
@@ -160,9 +235,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
     if args.command == "run":
-        result = run_experiment(args.experiment_id, seed=args.seed, fast=args.fast)
-        print(result.render())
-        return 0 if result.all_within_tolerance else 1
+        text, ok = _run_observed(
+            args.experiment_id, args.seed, args.fast,
+            args.profile, args.trace_out, args.metrics_out,
+        )
+        print(text)
+        return 0 if ok else 1
     if args.command == "report":
         from repro.experiments.report_md import generate_markdown
 
@@ -179,7 +257,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.parallel < 1:
         parser.error(f"--parallel must be >= 1, got {args.parallel}")
     failures = []
-    for experiment_id, seed, text, ok in run_all(seeds, args.fast, args.parallel):
+    for experiment_id, seed, text, ok in run_all(
+        seeds, args.fast, args.parallel,
+        profile=args.profile, trace_out=args.trace_out, metrics_out=args.metrics_out,
+    ):
         print(text)
         print()
         if not ok:

@@ -268,6 +268,27 @@ class _SchedulerBase:
             times_list.append(now)
             q += 1
 
+        # Observability: the quantum loop has no simulator handle, so it
+        # reports batch totals through the ambiently active hub after
+        # the loop (never from inside it — nothing perturbed).
+        from repro.obs import ambient_registry
+
+        registry = ambient_registry()
+        if registry is not None:
+            quanta = registry.counter(
+                "soda_sched_quanta_total",
+                "Scheduler quanta simulated, by scheduler and disposition.",
+                ("scheduler", "state"),
+            )
+            idle = charges.count(-1)
+            quanta.inc(n_quanta - idle, scheduler=self.name, state="charged")
+            quanta.inc(idle, scheduler=self.name, state="idle")
+            registry.counter(
+                "soda_sched_runs_total",
+                "Quantum-loop batches executed, by scheduler.",
+                ("scheduler",),
+            ).inc(scheduler=self.name)
+
         times = np.asarray(times_list)
         cumulative = np.zeros((n_groups, n_quanta + 1))
         if n_quanta:

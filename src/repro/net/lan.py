@@ -176,6 +176,24 @@ class LAN:
         self._flush_pending = False
         self._wire_dirty = False
         self._loopback_dirty = False
+        # Observability: counter children bound once per attached
+        # registry so the hot flush path pays one identity check, not a
+        # registry lookup-and-create per flush.
+        self._obs_registry = None
+        self._obs_flushes = None
+        self._obs_transfers = None
+
+    def _obs_bind(self, registry) -> None:
+        self._obs_registry = registry
+        self._obs_flushes = registry.counter(
+            "soda_lan_flushes_total",
+            "Batched LAN allocator flushes (rate recomputations).",
+        ).labels()
+        self._obs_transfers = registry.counter(
+            "soda_lan_transfers_total",
+            "Transfers started on the LAN, by path kind.",
+            ("kind",),
+        )
 
     # -- topology ---------------------------------------------------------
     def nic(self, name: str, rate_mbps: Optional[float] = None) -> NetworkInterface:
@@ -216,6 +234,11 @@ class LAN:
         if rate_cap_mbps is not None and rate_cap_mbps <= 0:
             raise ValueError(f"rate cap must be positive, got {rate_cap_mbps}")
         flow = Flow(self, src, dst, size_mb, rate_cap_mbps, label)
+        registry = getattr(self.sim, "metrics", None)
+        if registry is not None:
+            if registry is not self._obs_registry:
+                self._obs_bind(registry)
+            self._obs_transfers.inc(kind="loopback" if flow._loopback else "wire")
         self._flows.append(flow)
         if flow._loopback:
             # Singleton bottleneck group — but the rate is assigned in
@@ -245,6 +268,11 @@ class LAN:
     def _flush(self) -> None:
         """Drain, recompute affected groups, and re-arm the wake-up."""
         self._flush_pending = False
+        registry = getattr(self.sim, "metrics", None)
+        if registry is not None:
+            if registry is not self._obs_registry:
+                self._obs_bind(registry)
+            self._obs_flushes.inc()
         self._advance()
         if self._loopback_dirty:
             self._loopback_dirty = False

@@ -1,0 +1,114 @@
+"""``soda-obs``: inspect observability artefacts from the command line.
+
+Three subcommands over files the experiments runner (or an example)
+wrote:
+
+* ``soda-obs trace-summary run.spans.json`` — the flame table plus
+  per-request counts for a ``soda-spans/1`` file.
+* ``soda-obs chrome-export run.spans.json -o run.chrome.json`` —
+  convert spans to Chrome trace-event JSON (open in Perfetto or
+  ``chrome://tracing``).
+* ``soda-obs metrics-dump run.prom [--grep switch]`` — validate and
+  print a Prometheus text dump, optionally filtered.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.export import chrome_trace, flame_summary, load_spans_json
+
+__all__ = ["main"]
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    spans = load_spans_json(args.spans)
+    finished = [s for s in spans if s.get("end") is not None]
+    roots = [s for s in finished if s.get("parent") is None]
+    failed = [s for s in roots if s.get("status") != "ok"]
+    print(f"{args.spans}: {len(spans)} spans, {len(roots)} requests, "
+          f"{len(failed)} not-ok")
+    if roots:
+        total = sum(s["end"] - s["start"] for s in roots)
+        print(f"request time: total {total:.4f} s, "
+              f"mean {total / len(roots) * 1e3:.3f} ms")
+    print()
+    print(flame_summary(spans, top=args.top))
+    return 0
+
+
+def _cmd_chrome_export(args: argparse.Namespace) -> int:
+    spans = load_spans_json(args.spans)
+    trace = chrome_trace(spans)
+    out = args.out or (
+        args.spans[: -len(".spans.json")] + ".chrome.json"
+        if args.spans.endswith(".spans.json")
+        else args.spans + ".chrome.json"
+    )
+    with open(out, "w") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {out} ({len(trace['traceEvents'])} events)")
+    return 0
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    with open(args.metrics) as handle:
+        text = handle.read()
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("#"):
+            continue
+        head, _, value = line.rpartition(" ")
+        if not head:
+            print(f"{args.metrics}:{lineno}: malformed sample {line!r}", file=sys.stderr)
+            return 1
+        try:
+            float(value)
+        except ValueError:
+            print(
+                f"{args.metrics}:{lineno}: non-numeric value {value!r}", file=sys.stderr
+            )
+            return 1
+        samples += 1
+    shown = text.splitlines()
+    if args.grep:
+        shown = [line for line in shown if args.grep in line]
+    for line in shown:
+        print(line)
+    print(f"# {samples} samples ok", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="soda-obs",
+        description="Inspect SODA observability artefacts (spans, metrics).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser("trace-summary", help="flame summary of a spans file")
+    summary.add_argument("spans", help="a soda-spans/1 JSON file")
+    summary.add_argument("--top", type=int, default=0, help="keep only the top N rows")
+
+    chrome = sub.add_parser("chrome-export", help="convert spans to Chrome trace JSON")
+    chrome.add_argument("spans", help="a soda-spans/1 JSON file")
+    chrome.add_argument("-o", "--out", default=None, help="output path")
+
+    dump = sub.add_parser("metrics-dump", help="validate/print a Prometheus dump")
+    dump.add_argument("metrics", help="a Prometheus text exposition file")
+    dump.add_argument("--grep", default=None, help="only print lines containing this")
+
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    if args.command == "trace-summary":
+        return _cmd_trace_summary(args)
+    if args.command == "chrome-export":
+        return _cmd_chrome_export(args)
+    return _cmd_metrics_dump(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Trace exports: span JSON, Chrome trace-event JSON, flame summaries.
+
+Three consumers of a :class:`~repro.obs.tracing.RequestTracer`:
+
+* :func:`write_spans_json` / :func:`load_spans_json` — the on-disk span
+  format (``soda-spans/1``), the interchange the ``soda-obs`` CLI reads.
+* :func:`chrome_trace` — the Chrome trace-event format (an object with a
+  ``traceEvents`` list of ``ph``/``ts``/``pid``/``tid`` events) loadable
+  in Perfetto or ``chrome://tracing``.  Each tracer epoch (one simulator)
+  becomes one *process* block and each lane (one node / switch / client)
+  one named *thread* row, so the per-node timeline reads directly off
+  the UI.
+* :func:`flame_summary` — a terminal-friendly aggregate: wall-clock per
+  (lane, span name), the "where does request time go" table.
+
+All outputs are deterministic for a seeded run: span order is creation
+order and aggregate tables sort on (total time, lane, name).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.obs.tracing import Span
+
+__all__ = [
+    "SPANS_FORMAT",
+    "spans_payload",
+    "write_spans_json",
+    "load_spans_json",
+    "chrome_trace",
+    "write_chrome_trace",
+    "flame_summary",
+    "breakdown_table",
+]
+
+SPANS_FORMAT = "soda-spans/1"
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _as_dict(span: SpanLike) -> Dict[str, Any]:
+    return span.to_dict() if isinstance(span, Span) else span
+
+
+def spans_payload(spans: Iterable[SpanLike]) -> Dict[str, Any]:
+    """The ``soda-spans/1`` JSON document for ``spans``."""
+    return {
+        "format": SPANS_FORMAT,
+        "spans": [_as_dict(s) for s in spans],
+    }
+
+
+def write_spans_json(path: str, spans: Iterable[SpanLike]) -> None:
+    with open(path, "w") as handle:
+        json.dump(spans_payload(spans), handle, indent=1)
+        handle.write("\n")
+
+
+def load_spans_json(path: str) -> List[Dict[str, Any]]:
+    """Load and validate a ``soda-spans/1`` document; returns the spans."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("format") != SPANS_FORMAT:
+        raise ValueError(f"{path}: not a {SPANS_FORMAT} document")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError(f"{path}: missing span list")
+    return spans
+
+
+# -- Chrome trace-event format ---------------------------------------------
+
+
+def chrome_trace(spans: Iterable[SpanLike]) -> Dict[str, Any]:
+    """Spans as a Chrome trace-event JSON object.
+
+    Finished spans become complete (``ph: "X"``) events with
+    microsecond timestamps; open spans are skipped.  ``pid`` is the
+    span's epoch (one simulator per process block), ``tid`` the lane's
+    first-seen index, and metadata events name both.
+    """
+    events: List[Dict[str, Any]] = []
+    lane_ids: Dict[tuple, int] = {}  # (epoch, lane) -> tid
+    seen_pids: Dict[int, bool] = {}
+    for span in spans:
+        data = _as_dict(span)
+        if data.get("end") is None:
+            continue
+        pid = int(data.get("epoch") or 0)
+        lane = str(data.get("lane", ""))
+        key = (pid, lane)
+        tid = lane_ids.get(key)
+        if tid is None:
+            tid = len(lane_ids) + 1
+            lane_ids[key] = tid
+            if pid not in seen_pids:
+                seen_pids[pid] = True
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "ts": 0,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": f"sim-{pid}"},
+                    }
+                )
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": lane},
+                }
+            )
+        args: Dict[str, Any] = {
+            "trace": data.get("trace"),
+            "span": data.get("span"),
+            "status": data.get("status"),
+        }
+        attrs = data.get("attrs") or {}
+        if attrs:
+            args.update(attrs)
+        events.append(
+            {
+                "name": str(data.get("name", "span")),
+                "cat": str(data.get("status", "ok")),
+                "ph": "X",
+                "ts": data["start"] * 1e6,
+                "dur": (data["end"] - data["start"]) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Iterable[SpanLike]) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(spans), handle, indent=1)
+        handle.write("\n")
+
+
+# -- flame summary ----------------------------------------------------------
+
+
+def flame_summary(spans: Iterable[SpanLike], top: int = 0) -> str:
+    """Aggregate finished spans by (lane, name) into a text table.
+
+    Rows sort by total simulated seconds, descending — the flame view of
+    where request time goes.  ``top`` truncates (0 keeps everything).
+    """
+    totals: Dict[tuple, List[float]] = {}  # (lane, name) -> [count, total, max]
+    for span in spans:
+        data = _as_dict(span)
+        if data.get("end") is None:
+            continue
+        duration = data["end"] - data["start"]
+        key = (str(data.get("lane", "")), str(data.get("name", "")))
+        entry = totals.get(key)
+        if entry is None:
+            totals[key] = [1.0, duration, duration]
+        else:
+            entry[0] += 1.0
+            entry[1] += duration
+            if duration > entry[2]:
+                entry[2] = duration
+    if not totals:
+        return "(no finished spans)"
+    rows = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+    if top > 0:
+        rows = rows[:top]
+    lane_w = max(4, max(len(lane) for (lane, _), _ in rows))
+    name_w = max(4, max(len(name) for (_, name), _ in rows))
+    lines = [
+        f"{'lane':<{lane_w}}  {'span':<{name_w}}  {'count':>7}  "
+        f"{'total s':>10}  {'mean ms':>9}  {'max ms':>9}"
+    ]
+    for (lane, name), (count, total, peak) in rows:
+        lines.append(
+            f"{lane:<{lane_w}}  {name:<{name_w}}  {int(count):>7}  "
+            f"{total:>10.4f}  {total / count * 1e3:>9.3f}  {peak * 1e3:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def breakdown_table(requests: Sequence[tuple], limit: int = 0) -> str:
+    """Per-request latency breakdown for ``(root, segments)`` pairs.
+
+    One row per traced request: total response time plus one column per
+    segment name in path order.  Used by ``examples/observability.py``.
+    """
+    finished = [(r, segs) for r, segs in requests if r.finished]
+    if limit > 0:
+        finished = finished[:limit]
+    if not finished:
+        return "(no traced requests)"
+    names: List[str] = []
+    for _root, segments in finished:
+        for segment in segments:
+            if segment.finished and segment.name not in names:
+                names.append(segment.name)
+    header = (
+        f"{'trace':>5}  {'lane':<14}  {'total ms':>9}  "
+        + "  ".join(f"{name + ' ms':>14}" for name in names)
+    )
+    lines = [header]
+    for root, segments in finished:
+        by_name = {s.name: s for s in segments if s.finished}
+        cells = []
+        for name in names:
+            segment = by_name.get(name)
+            cells.append(
+                f"{segment.duration * 1e3:>14.3f}" if segment is not None else f"{'-':>14}"
+            )
+        lines.append(
+            f"{root.context.trace_id:>5}  {root.lane:<14}  "
+            f"{root.duration * 1e3:>9.3f}  " + "  ".join(cells)
+        )
+    return "\n".join(lines)

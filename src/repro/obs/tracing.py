@@ -1,0 +1,240 @@
+"""Distributed request tracing over the simulated request path.
+
+A :class:`RequestTracer` attached to a simulator (``sim.obs_tracer``)
+collects :class:`Span` records.  Instrumented components — the workload
+client, :meth:`repro.core.switch.ServiceSwitch.serve`, the virtual
+service node — open one *root* span per request and one child span per
+segment of the serving path:
+
+``dispatch``
+    client → switch transfer, switch queueing, request classification
+    and the forward hop to the chosen back-end.
+``queue_wait``
+    waiting for a free worker at the virtual service node.
+``cpu_service``
+    guest CPU service time (syscall-interposition model, plus the
+    proxy relay cost in proxy mode).
+``tx``
+    response transmission back to the client over the LAN.
+
+The segments tile the request interval — each starts where the previous
+one ended — so their durations sum to the measured response time (the
+determinism guard asserts this to 1e-9).
+
+Span and trace IDs are **deterministic**: they are per-tracer sequence
+numbers (never ``uuid4``/``Date.now``-style wall-clock material), so a
+seeded run produces bit-identical traces.  Timestamps are simulated
+seconds.
+
+Observes-never-perturbs: starting or finishing a span touches no
+simulated state and schedules no events.  With no tracer attached,
+instrumentation sites cost one attribute lookup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "RequestTracer",
+    "tracer_of",
+    "STATUS_OK",
+    "STATUS_FAILED",
+    "STATUS_SHED",
+    "STATUS_OPEN",
+]
+
+STATUS_OPEN = "open"
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_SHED = "shed"
+
+
+class SpanContext:
+    """The identifying triple of a span, cheap to pass around."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int]):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
+
+
+class Span:
+    """One named, timed segment of work attributed to a lane.
+
+    ``lane`` names where the work happened (a node, a switch, a client)
+    and becomes the per-node row in the Chrome trace export.
+    """
+
+    __slots__ = ("context", "name", "lane", "start", "end", "status", "epoch", "attrs")
+
+    def __init__(
+        self,
+        context: SpanContext,
+        name: str,
+        lane: str,
+        start: float,
+        epoch: int,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.context = context
+        self.name = name
+        self.lane = lane
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = STATUS_OPEN
+        self.epoch = epoch
+        self.attrs: Optional[Dict[str, Any]] = attrs
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end - self.start
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value detail (kept out of the timing model)."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, end: float, status: str = STATUS_OK) -> "Span":
+        """Close the span at simulated time ``end``."""
+        if self.end is not None:
+            raise ValueError(f"span {self.name!r} already finished")
+        if end < self.start:
+            raise ValueError(f"span {self.name!r} ends before it starts")
+        self.end = end
+        self.status = status
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (see :mod:`repro.obs.export`)."""
+        return {
+            "trace": self.context.trace_id,
+            "span": self.context.span_id,
+            "parent": self.context.parent_id,
+            "name": self.name,
+            "lane": self.lane,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "epoch": self.epoch,
+            "attrs": dict(self.attrs) if self.attrs else {},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        end = f"{self.end:.6f}" if self.end is not None else "…"
+        return f"<Span {self.name!r} lane={self.lane!r} [{self.start:.6f}, {end}] {self.status}>"
+
+
+class RequestTracer:
+    """Collects spans for one observability session.
+
+    One tracer may serve several consecutive simulators (an experiment
+    that builds a fresh testbed per data point): call
+    :meth:`begin_epoch` per simulator and spans record which epoch they
+    belong to, which the Chrome export maps to one process block each.
+
+    ``capacity`` bounds memory as a ring buffer over *spans*: when full,
+    the oldest spans are evicted (``dropped`` counts them) and the
+    newest are retained — the same newest-wins semantics as
+    :class:`repro.sim.trace.Tracer`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.epoch = 0
+        self._next_trace = 0
+        self._next_span = 0
+
+    # -- session management -------------------------------------------------
+    def begin_epoch(self) -> int:
+        """Start a new epoch (one per simulator attached); returns it."""
+        self.epoch += 1
+        return self.epoch
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0
+
+    # -- span creation ------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        lane: str,
+        start: float,
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; with ``parent=None`` it roots a new trace."""
+        self._next_span += 1
+        if parent is None:
+            self._next_trace += 1
+            context = SpanContext(self._next_trace, self._next_span, None)
+        else:
+            context = SpanContext(
+                parent.context.trace_id, self._next_span, parent.context.span_id
+            )
+        span = Span(context, name, lane, start, self.epoch, attrs or None)
+        if self.capacity is not None and len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append(span)
+        return span
+
+    # -- queries ------------------------------------------------------------
+    def spans(self) -> List[Span]:
+        """All retained spans, in creation order."""
+        return list(self._spans)
+
+    def finished_spans(self) -> List[Span]:
+        return [s for s in self._spans if s.finished]
+
+    def roots(self, status: Optional[str] = None) -> List[Span]:
+        """Root spans (one per traced request), optionally by status."""
+        return [
+            s
+            for s in self._spans
+            if s.context.parent_id is None and (status is None or s.status == status)
+        ]
+
+    def children_of(self, root: Span) -> List[Span]:
+        """Direct children of ``root`` in start order (ties: creation order)."""
+        trace_id = root.context.trace_id
+        parent_id = root.context.span_id
+        kids = [
+            s
+            for s in self._spans
+            if s.context.trace_id == trace_id and s.context.parent_id == parent_id
+        ]
+        kids.sort(key=lambda s: s.start)
+        return kids
+
+    def requests(self, status: Optional[str] = None) -> List[Tuple[Span, List[Span]]]:
+        """``(root, segments)`` pairs for every traced request."""
+        return [(root, self.children_of(root)) for root in self.roots(status)]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+def tracer_of(sim) -> Optional[RequestTracer]:
+    """The tracer attached to ``sim``, if any (else ``None``)."""
+    return getattr(sim, "obs_tracer", None)

@@ -42,6 +42,7 @@ allocations where the event machinery is pure plumbing:
 from __future__ import annotations
 
 from heapq import heappop as _heappop, heappush as _heappush
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -443,6 +444,10 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._catch_process_failures = catch_process_failures
+        # Opt-in kernel profiler (duck-typed; see repro.obs.profiler).
+        # When None — the default — run()/run_until_process() use the
+        # allocation-free fast loops below, unchanged.
+        self._profiler: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
     @property
@@ -454,6 +459,25 @@ class Simulator:
     def active_process(self) -> Optional[Process]:
         """The process currently being stepped, if any."""
         return self._active_process
+
+    # -- profiling ----------------------------------------------------------
+    @property
+    def profiler(self) -> Optional[Any]:
+        """The installed kernel profiler, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional[Any]) -> None:
+        """Install (or remove, with ``None``) a kernel profiler.
+
+        The profiler is duck-typed — it needs ``record(site, wall_s)``
+        and ``note_heap_depth(depth)`` — so the kernel stays free of
+        observability imports.  With a profiler installed, ``run()`` and
+        ``run_until_process()`` dispatch through a profiled loop that
+        times every callback site; the profiler only *measures* (wall
+        clock, heap depth), so simulation results are bit-identical
+        either way.  ``step()`` is never profiled.
+        """
+        self._profiler = profiler
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -534,6 +558,8 @@ class Simulator:
         # is the hottest couple of lines in the entire repository.
         # Events cannot be scheduled in the past (delay >= 0 always), so
         # the monotonicity assertion in step() is skipped here.
+        if self._profiler is not None:
+            return self._run_profiled(until)
         heap = self._heap
         pop = _heappop
         if until is not None:
@@ -571,6 +597,8 @@ class Simulator:
         :class:`SimulationError` if the heap drains (deadlock) or the
         clock passes ``limit`` before completion.
         """
+        if self._profiler is not None:
+            return self._run_until_process_profiled(process, limit)
         heap = self._heap
         pop = _heappop
         while process._ok is None:
@@ -592,6 +620,87 @@ class Simulator:
                 target.callbacks = None
                 for callback in callbacks:
                     callback(target)
+        return process.value
+
+    # -- profiled dispatch (opt-in; see set_profiler) -----------------------
+    def _dispatch_profiled(self, entry: tuple, profiler: Any) -> None:
+        """Dispatch one heap entry, timing it against its callback site."""
+        target = entry[3]
+        if target is None:
+            owner = entry[4]
+            began = _perf_counter()
+            owner._resume_direct(entry[5], entry[6], entry[7])
+            elapsed = _perf_counter() - began
+            name = getattr(owner, "name", None)
+            if name is not None:
+                site = "resume:" + name
+            else:
+                callback = getattr(owner, "_callback", None)
+                site = (
+                    "call_soon:" + getattr(callback, "__qualname__", "callback")
+                    if callback is not None
+                    else "resume:" + type(owner).__name__
+                )
+        else:
+            callbacks = target.callbacks
+            target.callbacks = None
+            kind = type(target).__name__
+            if callbacks:
+                first = callbacks[0]
+                first_owner = getattr(first, "__self__", None)
+                if isinstance(first_owner, Process):
+                    site = kind + "->" + first_owner.name
+                else:
+                    site = kind + "->" + getattr(
+                        first, "__qualname__", type(first).__name__
+                    )
+            else:
+                site = kind
+            began = _perf_counter()
+            for callback in callbacks:
+                callback(target)
+            elapsed = _perf_counter() - began
+        profiler.record(site, elapsed)
+
+    def _run_profiled(self, until: Optional[float]) -> None:
+        """run() with the installed profiler timing every dispatch."""
+        profiler = self._profiler
+        heap = self._heap
+        pop = _heappop
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            while heap and heap[0][0] <= until:
+                profiler.note_heap_depth(len(heap))
+                entry = pop(heap)
+                self._now = entry[0]
+                self._dispatch_profiled(entry, profiler)
+            self._now = until
+        else:
+            while heap:
+                profiler.note_heap_depth(len(heap))
+                entry = pop(heap)
+                self._now = entry[0]
+                self._dispatch_profiled(entry, profiler)
+
+    def _run_until_process_profiled(self, process: Process, limit: float) -> Any:
+        """run_until_process() with profiled dispatch."""
+        profiler = self._profiler
+        heap = self._heap
+        pop = _heappop
+        while process._ok is None:
+            if not heap:
+                raise SimulationError(
+                    f"deadlock: heap drained before process {process.name!r} finished"
+                )
+            if heap[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for process {process.name!r}"
+                )
+            profiler.note_heap_depth(len(heap))
+            entry = pop(heap)
+            self._now = entry[0]
+            self._dispatch_profiled(entry, profiler)
         return process.value
 
 

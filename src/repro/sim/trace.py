@@ -7,6 +7,11 @@ emit timestamped, categorised events.  With no tracer attached, the
 :func:`trace` helper is a no-op, so instrumentation costs nothing in
 experiments.
 
+A bounded tracer (``capacity=N``) is a ring buffer: it retains the
+**newest** ``N`` events and counts evictions in ``dropped``.  (Earlier
+versions kept the oldest events and discarded new arrivals — the
+opposite of what you want when diagnosing the end of a long run.)
+
 >>> from repro.sim import Simulator
 >>> sim = Simulator()
 >>> tracer = Tracer(sim)
@@ -18,8 +23,9 @@ experiments.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.sim.kernel import Simulator
 
@@ -43,20 +49,24 @@ class TraceEvent:
 
 
 class Tracer:
-    """Collects trace events for one simulation."""
+    """Collects trace events for one simulation.
+
+    With ``capacity=N`` the tracer is a bounded ring buffer holding the
+    newest ``N`` events; each eviction of an older event increments
+    ``dropped``.  Unbounded (the default) it keeps everything.
+    """
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
-        self._events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
 
     def emit(self, category: str, message: str, **fields: Any) -> None:
         if self.capacity is not None and len(self._events) >= self.capacity:
-            self.dropped += 1
-            return
+            self.dropped += 1  # the deque evicts the oldest event below
         self._events.append(
             TraceEvent(time=self.sim.now, category=category, message=message, fields=fields)
         )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Sequence
 
 from repro.core.billing import BillingLedger
+from repro.obs import ambient_registry
 from repro.sla.contract import PenaltySchedule
 from repro.sla.monitor import SLAViolation
 
@@ -94,6 +95,15 @@ class PenaltySettler:
                 amount=credit,
                 reason=f"SLA: {len(fresh)} violation(s) [{', '.join(kinds)}]",
             )
+            # The settler has no simulator handle, so its credit counter
+            # reports through the ambiently active observability hub.
+            registry = ambient_registry()
+            if registry is not None:
+                registry.counter(
+                    "soda_sla_credit_total",
+                    "SLA penalty credits posted to the billing ledger.",
+                    ("service",),
+                ).inc(credit, service=service)
         self._settled[service] = start + len(fresh)
         settlement = Settlement(
             service=service,

@@ -74,3 +74,27 @@ def test_csv_handles_commas_in_cells():
     result.add_row("hello, world")
     rows = parse(table_csv(result))
     assert rows[1] == ["hello, world"]
+
+
+def test_export_all_omits_absent_documents():
+    """No comparisons and no series -> only the main table document."""
+    result = ExperimentResult("bare", "t", headers=["a"])
+    result.add_row("1")
+    assert set(export_all(result)) == {"bare.csv"}
+
+
+def test_export_all_series_indices_follow_sorted_names():
+    result = ExperimentResult("multi", "t", headers=["a"])
+    result.series["zeta"] = ([0.0], [1.0])
+    result.series["alpha"] = ([0.0], [2.0])
+    documents = export_all(result)
+    # Indices are assigned over sorted series names: alpha -> 0, zeta -> 1.
+    assert parse(documents["multi_series0.csv"])[1] == ["0.0", "2.0"]
+    assert parse(documents["multi_series1.csv"])[1] == ["0.0", "1.0"]
+
+
+def test_series_csv_keyerror_names_known_series():
+    result = ExperimentResult("known", "t")
+    result.series["only"] = ([0.0], [0.0])
+    with pytest.raises(KeyError, match="only"):
+        series_csv(result, "nope")

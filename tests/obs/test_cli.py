@@ -1,0 +1,79 @@
+"""Tests for the ``soda-obs`` CLI."""
+
+import json
+
+from repro.obs.cli import main
+from repro.obs.export import write_spans_json
+from repro.obs.tracing import RequestTracer
+
+
+def spans_file(tmp_path):
+    tracer = RequestTracer()
+    tracer.begin_epoch()
+    root = tracer.start_span("request", lane="client-0", start=0.0)
+    tracer.start_span("dispatch", lane="node-0", start=0.0, parent=root).finish(0.001)
+    tracer.start_span("tx", lane="node-0", start=0.001, parent=root).finish(0.070)
+    root.finish(0.070)
+    shed = tracer.start_span("request", lane="client-1", start=0.5)
+    shed.finish(0.5, "shed")
+    path = str(tmp_path / "run.spans.json")
+    write_spans_json(path, tracer.spans())
+    return path
+
+
+def test_trace_summary(tmp_path, capsys):
+    path = spans_file(tmp_path)
+    assert main(["trace-summary", path, "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "2 requests" in out
+    assert "1 not-ok" in out
+    assert "dispatch" in out
+
+
+def test_chrome_export_default_output_name(tmp_path, capsys):
+    path = spans_file(tmp_path)
+    assert main(["chrome-export", path]) == 0
+    out_path = path[: -len(".spans.json")] + ".chrome.json"
+    assert out_path in capsys.readouterr().out
+    with open(out_path) as handle:
+        events = json.load(handle)["traceEvents"]
+    assert any(e["ph"] == "X" for e in events)
+
+
+def test_chrome_export_explicit_output(tmp_path):
+    path = spans_file(tmp_path)
+    out = str(tmp_path / "custom.json")
+    assert main(["chrome-export", path, "-o", out]) == 0
+    with open(out) as handle:
+        assert json.load(handle)["traceEvents"]
+
+
+def test_metrics_dump_validates_and_greps(tmp_path, capsys):
+    path = str(tmp_path / "run.prom")
+    with open(path, "w") as handle:
+        handle.write(
+            "# TYPE soda_x_total counter\n"
+            'soda_x_total{service="web"} 3\n'
+            "soda_y_gauge 0.5\n"
+        )
+    assert main(["metrics-dump", path]) == 0
+    captured = capsys.readouterr()
+    assert "soda_y_gauge 0.5" in captured.out
+    assert "2 samples ok" in captured.err
+
+    assert main(["metrics-dump", path, "--grep", "soda_x"]) == 0
+    out = capsys.readouterr().out
+    assert "soda_x_total" in out and "soda_y_gauge" not in out
+
+
+def test_metrics_dump_rejects_malformed(tmp_path, capsys):
+    path = str(tmp_path / "bad.prom")
+    with open(path, "w") as handle:
+        handle.write("soda_x_total notanumber\n")
+    assert main(["metrics-dump", path]) == 1
+    assert "non-numeric" in capsys.readouterr().err
+
+    with open(path, "w") as handle:
+        handle.write("loneword\n")
+    assert main(["metrics-dump", path]) == 1
+    assert "malformed" in capsys.readouterr().err

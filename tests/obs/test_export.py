@@ -1,0 +1,116 @@
+"""Tests for span export: JSON, Chrome trace events, text tables."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SPANS_FORMAT,
+    breakdown_table,
+    chrome_trace,
+    flame_summary,
+    load_spans_json,
+    spans_payload,
+    write_chrome_trace,
+    write_spans_json,
+)
+from repro.obs.tracing import RequestTracer
+
+
+def traced_request(tracer, start=0.0, lane="client-0"):
+    root = tracer.start_span("request", lane=lane, start=start)
+    cursor = start
+    for name, width in (
+        ("dispatch", 0.001), ("queue_wait", 0.0), ("cpu_service", 0.004), ("tx", 0.065),
+    ):
+        segment = tracer.start_span(name, lane="node-0", start=cursor, parent=root)
+        cursor += width
+        segment.finish(cursor)
+    root.finish(cursor)
+    return root
+
+
+def test_spans_json_roundtrip(tmp_path):
+    tracer = RequestTracer()
+    tracer.begin_epoch()
+    traced_request(tracer)
+    path = str(tmp_path / "run.spans.json")
+    write_spans_json(path, tracer.spans())
+    loaded = load_spans_json(path)
+    assert loaded == [s.to_dict() for s in tracer.spans()]
+    assert spans_payload(tracer.spans())["format"] == SPANS_FORMAT
+
+
+def test_load_rejects_foreign_documents(tmp_path):
+    path = str(tmp_path / "bad.json")
+    with open(path, "w") as handle:
+        json.dump({"format": "other/1", "spans": []}, handle)
+    with pytest.raises(ValueError, match="not a soda-spans/1"):
+        load_spans_json(path)
+    with open(path, "w") as handle:
+        json.dump({"format": SPANS_FORMAT}, handle)
+    with pytest.raises(ValueError, match="missing span list"):
+        load_spans_json(path)
+
+
+def test_chrome_trace_structure():
+    tracer = RequestTracer()
+    tracer.begin_epoch()
+    traced_request(tracer, start=1.0)
+    tracer.start_span("open", lane="node-0", start=2.0)  # open: skipped
+    trace = chrome_trace(tracer.spans())
+    events = trace["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 5  # root + 4 segments; open span skipped
+    names = {e["args"]["name"] for e in meta}
+    assert {"sim-1", "client-0", "node-0"} <= names
+    root = next(e for e in spans if e["name"] == "request")
+    assert root["pid"] == 1  # epoch
+    assert root["ts"] == pytest.approx(1.0 * 1e6)  # microseconds
+    assert root["dur"] == pytest.approx(0.070 * 1e6)
+    # lanes map to stable tids within one export
+    tid_by_lane = {e["args"]["name"]: e["tid"] for e in meta if e["tid"] != 0}
+    for event in spans:
+        assert event["tid"] in tid_by_lane.values()
+
+
+def test_chrome_trace_one_process_per_epoch(tmp_path):
+    tracer = RequestTracer()
+    tracer.begin_epoch()
+    traced_request(tracer)
+    tracer.begin_epoch()
+    traced_request(tracer)
+    trace = chrome_trace(tracer.spans())
+    pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert pids == {1, 2}
+    path = str(tmp_path / "run.chrome.json")
+    write_chrome_trace(path, tracer.spans())
+    with open(path) as handle:
+        assert json.load(handle) == trace
+
+
+def test_flame_summary_aggregates():
+    tracer = RequestTracer()
+    traced_request(tracer, start=0.0)
+    traced_request(tracer, start=1.0)
+    text = flame_summary(tracer.spans())
+    lines = text.splitlines()
+    assert lines[0].split()[:2] == ["lane", "span"]
+    tx_row = next(line for line in lines if " tx " in f" {line} ")
+    assert "2" in tx_row.split()  # two tx spans aggregated
+    # top=1 keeps only the widest row
+    assert len(flame_summary(tracer.spans(), top=1).splitlines()) == 2
+    assert flame_summary([]) == "(no finished spans)"
+
+
+def test_breakdown_table_columns_sum_visibly():
+    tracer = RequestTracer()
+    traced_request(tracer)
+    text = breakdown_table(tracer.requests())
+    header, row = text.splitlines()
+    for name in ("dispatch", "queue_wait", "cpu_service", "tx"):
+        assert name in header
+    assert row.split()[1] == "client-0"
+    assert breakdown_table([]) == "(no traced requests)"
+    assert breakdown_table(tracer.requests(), limit=1) == text

@@ -1,0 +1,111 @@
+"""Tests for the labeled metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, registry_of
+
+
+def test_counter_inc_and_value():
+    registry = MetricsRegistry()
+    c = registry.counter("soda_test_total", "help", ("service",))
+    c.inc(service="web")
+    c.inc(2.5, service="web")
+    c.inc(service="db")
+    assert c.value(service="web") == 3.5
+    assert c.value(service="db") == 1.0
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    c = registry.counter("soda_up_total")
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    g = registry.gauge("soda_inflight", labels=("node",))
+    g.set(4.0, node="n0")
+    g.inc(node="n0")
+    g.dec(2.0, node="n0")
+    assert g.value(node="n0") == 3.0
+
+
+def test_histogram_buckets_and_inf():
+    registry = MetricsRegistry()
+    h = registry.histogram("soda_lat_seconds", buckets=(0.1, 1.0))
+    assert h.buckets[-1] == math.inf  # +Inf auto-appended
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(100.0)
+    child = h.labels()
+    assert child.counts == [1, 1, 1]
+    assert child.count == 3
+    assert child.sum == pytest.approx(100.55)
+
+
+def test_histogram_rejects_bad_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="sorted"):
+        registry.histogram("soda_bad_seconds", buckets=(1.0, 0.1))
+    with pytest.raises(ValueError, match="at least one bucket"):
+        registry.histogram("soda_empty_seconds", buckets=())
+
+
+def test_label_shape_is_enforced():
+    registry = MetricsRegistry()
+    c = registry.counter("soda_shape_total", labels=("a", "b"))
+    with pytest.raises(ValueError, match="expected labels"):
+        c.inc(a="1")  # missing b
+    with pytest.raises(ValueError, match="expected labels"):
+        c.inc(a="1", b="2", c="3")  # extra
+
+
+def test_registration_is_idempotent_for_same_shape():
+    registry = MetricsRegistry()
+    first = registry.counter("soda_idem_total", labels=("x",))
+    again = registry.counter("soda_idem_total", labels=("x",))
+    assert first is again
+    assert len(registry) == 1
+
+
+def test_registration_rejects_shape_change():
+    registry = MetricsRegistry()
+    registry.counter("soda_clash_total", labels=("x",))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.counter("soda_clash_total", labels=("y",))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("soda_clash_total", labels=("x",))
+
+
+def test_invalid_metric_name_rejected():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="invalid metric name"):
+        registry.counter("9starts_with_digit")
+
+
+def test_collect_sorted_and_snapshot():
+    registry = MetricsRegistry()
+    registry.gauge("soda_z_gauge").set(2.0)
+    registry.counter("soda_a_total", labels=("k",)).inc(k="v")
+    registry.histogram("soda_m_seconds", buckets=(1.0,)).observe(0.5)
+    assert [m.name for m in registry.collect()] == [
+        "soda_a_total", "soda_m_seconds", "soda_z_gauge",
+    ]
+    snap = registry.snapshot()
+    assert snap["soda_a_total"] == {("v",): 1.0}
+    assert snap["soda_z_gauge"] == {(): 2.0}
+    assert snap["soda_m_seconds_sum"] == {(): 0.5}
+    assert snap["soda_m_seconds_count"] == {(): 1.0}
+
+
+def test_registry_of_defaults_to_none():
+    class FakeSim:
+        pass
+
+    sim = FakeSim()
+    assert registry_of(sim) is None
+    sim.metrics = MetricsRegistry()
+    assert registry_of(sim) is sim.metrics

@@ -1,0 +1,61 @@
+"""Tests for the Prometheus text exposition."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import escape_label_value, format_value, render
+
+
+def test_format_value():
+    assert format_value(3.0) == "3"
+    assert format_value(0.5) == "0.5"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("-inf")) == "-Inf"
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_counter_exposition_with_help_and_sorted_children():
+    registry = MetricsRegistry()
+    c = registry.counter("soda_req_total", "Requests.", ("service", "outcome"))
+    c.inc(service="web", outcome="shed")
+    c.inc(3, service="web", outcome="ok")
+    text = render(registry)
+    lines = text.splitlines()
+    assert lines[0] == "# HELP soda_req_total Requests."
+    assert lines[1] == "# TYPE soda_req_total counter"
+    # children sort by label values: ("web","ok") < ("web","shed")
+    assert lines[2] == 'soda_req_total{service="web",outcome="ok"} 3'
+    assert lines[3] == 'soda_req_total{service="web",outcome="shed"} 1'
+    assert text.endswith("\n")
+
+
+def test_histogram_exposition_cumulative_buckets():
+    registry = MetricsRegistry()
+    h = registry.histogram("soda_lat_seconds", buckets=(0.1, 1.0))
+    for value in (0.05, 0.06, 0.5, 9.0):
+        h.observe(value)
+    lines = render(registry).splitlines()
+    assert 'soda_lat_seconds_bucket{le="0.1"} 2' in lines
+    assert 'soda_lat_seconds_bucket{le="1"} 3' in lines
+    assert 'soda_lat_seconds_bucket{le="+Inf"} 4' in lines
+    assert "soda_lat_seconds_count 4" in lines
+    assert any(line.startswith("soda_lat_seconds_sum ") for line in lines)
+
+
+def test_families_sorted_by_name():
+    registry = MetricsRegistry()
+    registry.gauge("soda_z").set(1.0)
+    registry.counter("soda_a_total").inc()
+    text = render(registry)
+    assert text.index("soda_a_total") < text.index("soda_z")
+
+
+def test_empty_registry_renders_empty():
+    assert render(MetricsRegistry()) == ""
+
+
+def test_registry_render_shortcut_matches():
+    registry = MetricsRegistry()
+    registry.counter("soda_x_total").inc()
+    assert registry.render() == render(registry)

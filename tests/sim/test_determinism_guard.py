@@ -8,9 +8,15 @@ run each twice with the same seed, and compare every float bit-for-bit
 substrate changes (set iteration order, batched recomputation, direct
 resume paths, idle-quantum batching) fails here before it can silently
 shift experiment numbers.
+
+The observability guard extends the same guarantee across the
+instrumentation boundary: with tracing + metrics + profiling fully
+enabled, both paths must stay bit-identical to a run with the stack
+disabled — `repro.obs` observes, never perturbs.
 """
 
 import repro.experiments.fig4_loadbalance as fig4
+from repro.obs import Observability
 from tests.sla.test_e2e import run_sla_scenario
 
 
@@ -57,3 +63,34 @@ def test_different_seeds_actually_differ():
     # Guard the guard: if seeding were ignored, the tests above would
     # pass vacuously.  Distinct seeds must change at least something.
     assert _sla_digest(1) != _sla_digest(2)
+
+
+# -- observability must observe, never perturb -------------------------------
+
+
+def test_fig4_digest_unchanged_by_full_observability():
+    plain = _digest(fig4.run(seed=0, fast=True))
+    hub = Observability(tracing=True, metrics=True, profile=True)
+    with hub.activate():
+        observed = _digest(fig4.run(seed=0, fast=True))
+    assert plain == observed
+    # The instrumentation actually ran — it just didn't perturb.
+    assert len(hub.tracer.spans()) > 0
+    assert "soda_switch_requests_total" in hub.prometheus()
+    assert hub.profiler.events_total > 0
+
+
+def test_fig4_digest_unchanged_by_observability_nonzero_seed():
+    plain = _digest(fig4.run(seed=1234, fast=True))
+    with Observability(tracing=True, metrics=True).activate():
+        observed = _digest(fig4.run(seed=1234, fast=True))
+    assert plain == observed
+
+
+def test_sla_digest_unchanged_by_full_observability():
+    plain = _sla_digest(7)
+    hub = Observability(tracing=True, metrics=True, profile=True)
+    with hub.activate():
+        observed = _sla_digest(7)
+    assert plain == observed
+    assert len(hub.tracer.spans()) > 0

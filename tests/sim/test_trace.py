@@ -45,6 +45,16 @@ def test_capacity_drops_overflow():
         Tracer(sim, capacity=0)
 
 
+def test_capacity_ring_retains_newest():
+    """A bounded tracer is a ring buffer: the newest events survive."""
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=3)
+    for i in range(7):
+        tracer.emit("x", str(i))
+    assert [e.message for e in tracer.events()] == ["4", "5", "6"]
+    assert tracer.dropped == 4
+
+
 def test_trace_helper_noop_without_tracer():
     sim = Simulator()
     trace(sim, "x", "dropped silently")  # must not raise
