@@ -1,6 +1,6 @@
 # Convenience targets for the SODA reproduction.
 
-.PHONY: install test lint bench bench-compare bench-pytest experiments report examples obs-demo all
+.PHONY: install test lint chaos coverage bench bench-compare bench-pytest experiments report examples obs-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,15 @@ test:
 
 lint:
 	ruff check src/ tests/ examples/
+
+# Chaos soak: the seeded fault campaign over the open-loop web workload,
+# run for each of the three pinned seeds (0, 7, 123).
+chaos:
+	PYTHONPATH=src python -m pytest tests/faults/test_chaos_soak.py -q
+
+# Needs pytest-cov (pip install pytest-cov); the floor matches CI's.
+coverage:
+	PYTHONPATH=src python -m pytest -q --cov=repro --cov-report=term --cov-fail-under=80
 
 bench:
 	PYTHONPATH=src python -m repro.bench

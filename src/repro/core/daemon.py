@@ -23,7 +23,7 @@ from repro.core.node import VirtualServiceNode
 from repro.core.requirements import MachineConfig
 from repro.guestos.boot import BootTimeModel
 from repro.guestos.proc import GUEST_ROOT_UID
-from repro.guestos.uml import UserModeLinux
+from repro.guestos.uml import UmlState, UserModeLinux
 from repro.host.bridge import BridgingModule, ProxyModule
 from repro.host.machine import Host
 from repro.host.reservation import ReservationError, ResourceVector
@@ -224,7 +224,7 @@ class SODADaemon:
                         self.networking.unregister(ip)
                     except KeyError:
                         pass
-            if vm is not None and vm.state.value in ("running", "crashed"):
+            if vm is not None and vm.state in (UmlState.RUNNING, UmlState.CRASHED):
                 vm.shutdown()
             reservation.release()
             raise

@@ -14,6 +14,7 @@ __all__ = [
     "InvalidRequestError",
     "PrimingError",
     "RequestSheddedError",
+    "RequestTimeoutError",
 ]
 
 
@@ -46,3 +47,8 @@ class PrimingError(SODAError):
 class RequestSheddedError(SODAError):
     """The service switch dropped the request under load to protect
     higher service classes (SLA class-priority shedding)."""
+
+
+class RequestTimeoutError(SODAError):
+    """The request exhausted its per-request timeout budget at the
+    service switch (including any failover retries)."""

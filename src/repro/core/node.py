@@ -25,7 +25,7 @@ from repro.core.errors import SODAError
 from repro.obs.metrics import registry_of
 from repro.obs.tracing import tracer_of
 from repro.guestos.syscall import SyscallMix
-from repro.guestos.uml import UML_NETWORK_EFFICIENCY, UserModeLinux
+from repro.guestos.uml import UML_NETWORK_EFFICIENCY, UmlState, UserModeLinux
 from repro.host.bridge import Endpoint, ProxyModule
 from repro.host.reservation import Reservation
 from repro.host.traffic import TrafficShaper
@@ -191,7 +191,13 @@ class VirtualServiceNode:
 
     @property
     def is_available(self) -> bool:
-        return (not self.torn_down) and self.vm.is_running
+        """Dispatchable iff not torn down and the guest is RUNNING.
+
+        This is the single state gate the switch and the serve path
+        consult: CREATED / BOOTING / CRASHED / STOPPED guests never
+        accept requests (pinned by ``tests/core/test_node_states.py``).
+        """
+        return (not self.torn_down) and self.vm.state is UmlState.RUNNING
 
     # -- serving ---------------------------------------------------------
     def serve(self, request: Request) -> Generator[Event, Any, NodeResponse]:
@@ -320,7 +326,7 @@ class VirtualServiceNode:
         if self.torn_down:
             raise SODAError(f"node {self.name} already torn down")
         self.torn_down = True
-        if self.vm.state.value in ("running", "crashed"):
+        if self.vm.state in (UmlState.RUNNING, UmlState.CRASHED):
             self.vm.shutdown()
         if self.reservation is not None:
             self.reservation.release()

@@ -11,7 +11,8 @@ this safe: a crash never corrupts anything outside the guest.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional
 
 from repro.core.node import VirtualServiceNode
 from repro.core.service import ServiceRecord
@@ -20,7 +21,25 @@ from repro.guestos.uml import UmlState, UserModeLinux
 from repro.host.bridge import BridgingModule
 from repro.sim.kernel import Event, Simulator
 
-__all__ = ["reboot_node", "NodeWatchdog"]
+__all__ = ["reboot_node", "RebootRecord", "NodeWatchdog"]
+
+
+@dataclass(frozen=True)
+class RebootRecord:
+    """One watchdog-driven recovery: detection instant to restored instant.
+
+    ``detected_at`` is when the poll loop noticed the crash (so the true
+    outage started up to one poll period earlier); ``restored_at`` is
+    when the fresh guest finished booting and the entrypoint respawned.
+    """
+
+    node: str
+    detected_at: float
+    restored_at: float
+
+    @property
+    def recovery_s(self) -> float:
+        return self.restored_at - self.detected_at
 
 
 def reboot_node(
@@ -71,6 +90,7 @@ class NodeWatchdog:
         self.poll_s = poll_s
         self.crashes_detected = 0
         self.reboots = 0
+        self.history: List[RebootRecord] = []
         self._networking_by_host = {}
 
     def attach_networking(self, host_name: str, networking: Any) -> None:
@@ -88,9 +108,17 @@ class NodeWatchdog:
                     continue
                 if node.vm.state is UmlState.CRASHED:
                     self.crashes_detected += 1
+                    detected_at = self.sim.now
                     yield from reboot_node(
                         self.sim, node,
                         networking=self._networking_by_host.get(node.host.name),
                     )
                     self.reboots += 1
+                    self.history.append(
+                        RebootRecord(
+                            node=node.vm.name,
+                            detected_at=detected_at,
+                            restored_at=self.sim.now,
+                        )
+                    )
             yield self.sim.timeout(self.poll_s)

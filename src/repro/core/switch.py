@@ -26,15 +26,28 @@ requests when backlog saturates (class-priority load shedding, bronze
 first — see :mod:`repro.sla.enforcement`), and outcome listeners (e.g.
 an :class:`~repro.sla.monitor.SLOMonitor`) receive every per-request
 outcome — ``(time, latency, "ok" | "failed" | "shed")`` — as it happens.
+
+Failover hooks (extension): with a :attr:`ServiceSwitch.retry_policy`
+(capped exponential backoff, see :class:`repro.faults.retry.BackoffPolicy`
+— duck-typed: anything with ``max_attempts`` and ``delay(attempt)``)
+and/or a :attr:`ServiceSwitch.request_timeout_s` budget installed, the
+switch re-runs failed dispatches against replicas it has not tried yet,
+backing off between attempts, until the request succeeds, the attempts
+are exhausted, or the timeout budget runs out
+(:class:`~repro.core.errors.RequestTimeoutError`).  A health checker
+(:class:`repro.faults.health.SwitchHealthChecker`) can additionally
+:meth:`~ServiceSwitch.quarantine` nodes so dispatch never even tries a
+dead replica between watchdog reboots.  Both hooks default to off, in
+which case the serving path is exactly the pre-failover one.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Set
 
 from repro.core.config import ServiceConfigFile
-from repro.core.errors import RequestSheddedError, SODAError
+from repro.core.errors import RequestSheddedError, RequestTimeoutError, SODAError
 from repro.core.node import (
     NodeResponse,
     Request,
@@ -92,13 +105,21 @@ class ServiceSwitch:
         # listeners tap the per-request outcome stream.
         self.shedder: Optional[Any] = None
         self._outcome_listeners: List[Callable[[float, Optional[float], str], None]] = []
+        # Failover hooks (off by default — the plain serving path runs
+        # unchanged unless one of these is installed).
+        self.retry_policy: Optional[Any] = None
+        self.request_timeout_s: Optional[float] = None
+        self.quarantined: Set[str] = set()
+        self.failovers = 0
+        self.timeouts = 0
         # Observability: metric children bound against whichever registry
         # is attached to the simulator (rebound if it changes).
         self._obs_cache: Optional[tuple] = None
 
     # -- observability (observes, never perturbs) ----------------------------
     def _obs_metrics(self) -> Optional[tuple]:
-        """(outcome counter, latency histogram, per-node counter) or None."""
+        """(registry, outcome counter, latency histogram, per-node
+        counter, failover counter, timeout counter) or None."""
         registry = registry_of(self.sim)
         if registry is None:
             return None
@@ -120,6 +141,16 @@ class ServiceSwitch:
                     "Requests dispatched to each back-end node.",
                     ("service", "node"),
                 ),
+                registry.counter(
+                    "soda_switch_failovers_total",
+                    "Dispatch attempts retried on another replica.",
+                    ("service",),
+                ),
+                registry.counter(
+                    "soda_switch_timeouts_total",
+                    "Requests that exhausted their timeout budget.",
+                    ("service",),
+                ),
             )
         return self._obs_cache
 
@@ -127,7 +158,7 @@ class ServiceSwitch:
         cache = self._obs_metrics()
         if cache is None:
             return
-        _registry, requests, latency, _dispatch = cache
+        requests, latency = cache[1], cache[2]
         requests.inc(service=self.service_name, outcome=outcome)
         if latency_s is not None:
             latency.observe(latency_s, service=self.service_name)
@@ -163,6 +194,22 @@ class ServiceSwitch:
         if node is self.home_node and len(self.nodes) > 1:
             raise ValueError("cannot remove the switch's home node")
         self.nodes.remove(node)
+        self.quarantined.discard(node.name)
+
+    # -- health quarantine (failover extension) -------------------------------
+    def quarantine(self, node: VirtualServiceNode) -> None:
+        """Take a node out of dispatch rotation (health check failed).
+
+        Idempotent; the node object stays behind the switch so the
+        watchdog can still reboot it in place.
+        """
+        if node not in self.nodes:
+            raise ValueError(f"node {node.name} not behind the switch")
+        self.quarantined.add(node.name)
+
+    def unquarantine(self, node: VirtualServiceNode) -> None:
+        """Return a recovered node to dispatch rotation.  Idempotent."""
+        self.quarantined.discard(node.name)
 
     def weights(self) -> Dict[str, int]:
         """Node name -> relative capacity, read from the config file."""
@@ -176,15 +223,28 @@ class ServiceSwitch:
 
     # -- dispatch ------------------------------------------------------------
     def _healthy(self) -> List[VirtualServiceNode]:
+        if self.quarantined:
+            return [
+                n for n in self.nodes
+                if n.is_available and n.name not in self.quarantined
+            ]
         return [n for n in self.nodes if n.is_available]
 
-    def select(self, request: Optional[Request] = None) -> VirtualServiceNode:
+    def select(
+        self,
+        request: Optional[Request] = None,
+        exclude: Iterable[str] = (),
+    ) -> VirtualServiceNode:
         """Pick a back-end (no simulated time; used by serve and tests).
 
         Requests targeting a component of a partitionable service are
-        restricted to that component's nodes.
+        restricted to that component's nodes.  ``exclude`` removes nodes
+        by name — the failover path uses it to avoid re-trying a replica
+        that already failed this request.
         """
         candidates = self._healthy()
+        if exclude:
+            candidates = [n for n in candidates if n.name not in exclude]
         if request is not None and request.component:
             candidates = [n for n in candidates if n.component == request.component]
         if not candidates:
@@ -240,6 +300,15 @@ class ServiceSwitch:
             raise RequestSheddedError(
                 f"service {self.service_name!r} shed a request under load"
             )
+        # Failover path (extension): with a retry policy or a timeout
+        # budget installed, dispatch attempts run — and re-run — through
+        # the failover engine.  Neither installed: the plain path below
+        # is untouched, keeping fault-free digests bit-identical.
+        if self.retry_policy is not None or self.request_timeout_s is not None:
+            response = yield from self._serve_with_failover(
+                request, started, lane, root, dispatch, owns_root
+            )
+            return response
         # 2. Switch processing (serialised).
         slot = self._dispatcher.request()
         try:
@@ -290,6 +359,169 @@ class ServiceSwitch:
         if owns_root:
             root.finish(self.sim.now).annotate(node=response.node_name)
         return response
+
+    # -- failover engine (extension) -----------------------------------------
+    def _serve_with_failover(
+        self, request: Request, started: float, lane: str,
+        root, dispatch, owns_root: bool,
+    ) -> Generator[Event, Any, NodeResponse]:
+        """Serving tail with retry, failover, and a timeout budget.
+
+        Runs after ingress and the shed check.  Each attempt pays the
+        dispatcher slot + classify CPU again (the switch really does
+        re-dispatch), picks a replica the request has not failed on yet,
+        and races the attempt against the remaining timeout budget.  A
+        failed attempt backs off per the retry policy before the next
+        one; when every live replica has been tried, the exclusion set
+        resets so watchdog-rebooted nodes get a chance.  A timed-out
+        attempt is abandoned, not cancelled — the back-end finishes the
+        work like a real server whose client hung up.
+        """
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if policy is not None else 1
+        deadline = (
+            None if self.request_timeout_s is None
+            else started + self.request_timeout_s
+        )
+        tracer = tracer_of(self.sim)
+        cache = self._obs_metrics()
+        tried: Set[str] = set()
+        failure: Optional[SODAError] = None
+        any_dispatched = False
+        attempt = 0
+        while attempt < max_attempts:
+            attempt += 1
+            # Switch processing (serialised), once per attempt.
+            backend = None
+            slot = self._dispatcher.request()
+            try:
+                yield slot
+                yield self.sim.timeout(
+                    SWITCH_CPU_MCYCLES / self.home_node.host.cpu_mhz
+                )
+                try:
+                    backend = self.select(request, exclude=tried)
+                except ServiceUnavailableError as exc:
+                    failure = exc
+                    if tried:
+                        # Every replica failed this request once already;
+                        # a watchdog reboot may have revived one — widen
+                        # the net before writing the attempt off.
+                        tried.clear()
+                        try:
+                            backend = self.select(request)
+                            failure = None
+                        except ServiceUnavailableError as again:
+                            failure = again
+            finally:
+                self._dispatcher.release(slot)
+            if dispatch is not None and not dispatch.finished:
+                dispatch.finish(self.sim.now).annotate(
+                    node=backend.name if backend is not None else "-"
+                )
+            if backend is not None:
+                if deadline is not None and deadline - self.sim.now <= 0:
+                    failure = self._timeout_failure(cache)
+                    break
+                span = None
+                if tracer is not None:
+                    span = tracer.start_span(
+                        "attempt", lane=lane, start=self.sim.now, parent=root,
+                        node=backend.name, attempt=attempt,
+                    )
+                any_dispatched = True
+                proc = self.sim.process(
+                    self._attempt(backend, request), name=f"attempt:{backend.name}"
+                )
+                if deadline is None:
+                    response, exc = yield proc
+                else:
+                    guard = self.sim.timeout(deadline - self.sim.now)
+                    yield self.sim.any_of([proc, guard])
+                    if proc.is_alive:
+                        # Budget exhausted mid-attempt; abandon it.
+                        if span is not None:
+                            span.finish(self.sim.now, "timeout")
+                        failure = self._timeout_failure(cache)
+                        break
+                    response, exc = proc.value
+                if exc is None:
+                    if span is not None:
+                        span.finish(self.sim.now)
+                    elapsed = self.sim.now - started
+                    self.response_times.record(self.sim.now, elapsed)
+                    self._notify(elapsed, "ok")
+                    self._obs_outcome("ok", elapsed)
+                    if owns_root:
+                        root.finish(self.sim.now).annotate(node=response.node_name)
+                    return response
+                failure = exc
+                tried.add(backend.name)
+                if span is not None:
+                    span.finish(self.sim.now, "failed")
+            if attempt >= max_attempts:
+                break
+            # Back off before the next attempt, clamped to the budget.
+            self.failovers += 1
+            if cache is not None:
+                cache[4].inc(service=self.service_name)
+            delay = policy.delay(attempt) if policy is not None else 0.0
+            if deadline is not None:
+                remaining = deadline - self.sim.now
+                if remaining <= 0:
+                    failure = self._timeout_failure(cache)
+                    break
+                if delay > remaining:
+                    delay = remaining
+            if delay > 0:
+                yield self.sim.timeout(delay)
+        if failure is None:  # pragma: no cover - defensive
+            failure = ServiceUnavailableError(
+                f"service {self.service_name!r} exhausted its attempts"
+            )
+        if any_dispatched:
+            self.rejected += 1
+        self._notify(None, "failed")
+        self._obs_outcome("failed")
+        self._finish_spans(dispatch, root if owns_root else None, "failed")
+        raise failure
+
+    def _timeout_failure(self, cache) -> RequestTimeoutError:
+        self.timeouts += 1
+        if cache is not None:
+            cache[5].inc(service=self.service_name)
+        return RequestTimeoutError(
+            f"service {self.service_name!r} request exceeded its "
+            f"{self.request_timeout_s:g}s budget"
+        )
+
+    def _attempt(
+        self, backend: VirtualServiceNode, request: Request
+    ) -> Generator[Event, Any, tuple]:
+        """One dispatch attempt; returns ``(response, exc)``, never raises.
+
+        Catching :class:`SODAError` inside the child process keeps an
+        abandoned (timed-out) attempt from failing a process nobody is
+        left awaiting.
+        """
+        # Forward to the back-end (loopback when co-located).
+        forward = self.lan.transfer(
+            self.home_node.host.nic, backend.host.nic, REQUEST_SIZE_MB,
+            label=f"switch:{self.service_name}:fwd",
+        )
+        yield forward.done
+        self.dispatched += 1
+        self.per_node_count[backend.name] = self.per_node_count.get(backend.name, 0) + 1
+        cache = self._obs_metrics()
+        if cache is not None:
+            cache[3].inc(service=self.service_name, node=backend.name)
+        try:
+            response = yield self.sim.process(
+                backend.serve(request), name=f"serve:{backend.name}"
+            )
+        except SODAError as exc:
+            return None, exc
+        return response, None
 
     def _finish_spans(self, dispatch, root, status: str) -> None:
         """Close still-open spans on an error path (no-op for None)."""

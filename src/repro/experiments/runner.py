@@ -39,6 +39,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
     from repro.experiments import (
         ablation_bridge_proxy,
         ablation_ddos,
+        ablation_faults,
         ablation_inflation,
         ablation_placement,
         ablation_policies,
@@ -67,6 +68,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         download_time,
         ablation_bridge_proxy,
         ablation_ddos,
+        ablation_faults,
         ablation_inflation,
         ablation_policies,
         ablation_placement,

@@ -1,0 +1,179 @@
+"""Fault schedules: what breaks, when, for how long.
+
+A :class:`FaultSchedule` is an immutable, sorted plan of
+:class:`FaultEvent` instants — either written explicitly (regression
+tests pin exact scenarios) or drawn from named seeded streams
+(:func:`seeded_campaign`, for chaos soaks).  The schedule is pure data:
+arming it against a live testbed is the
+:class:`~repro.faults.injector.FaultInjector`'s job, which keeps
+schedules hashable, comparable and printable — the determinism guard
+literally compares them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from repro.sim.rng import RandomStreams
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "seeded_campaign"]
+
+
+class FaultKind(enum.Enum):
+    """What breaks.  Values order deterministically in schedules."""
+
+    NODE_CRASH = "node_crash"        # one guest OS panics
+    HOST_OUTAGE = "host_outage"      # a host drops: guests crash, link dark
+    LINK_STALL = "link_stall"        # switch-to-node (host) link freezes
+    LAN_DEGRADE = "lan_degrade"      # shared segment capacity × factor
+    PARTITION = "partition"          # segment splits into two islands
+
+
+# Kinds that describe a condition with an extent in time (and therefore
+# need duration_s > 0); a NODE_CRASH is an instant — recovery is the
+# watchdog's business, not the schedule's.
+_DURABLE = (
+    FaultKind.HOST_OUTAGE,
+    FaultKind.LINK_STALL,
+    FaultKind.LAN_DEGRADE,
+    FaultKind.PARTITION,
+)
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One planned fault.
+
+    ``target`` names what breaks: a node name (NODE_CRASH), a host name
+    (HOST_OUTAGE, LINK_STALL), or a ``|``-joined NIC-name group for
+    PARTITION; LAN_DEGRADE ignores it.  ``factor`` is the capacity
+    multiplier for LAN_DEGRADE.
+    """
+
+    at: float
+    kind: FaultKind
+    target: str = ""
+    duration_s: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault instant must be >= 0, got {self.at}")
+        if self.duration_s < 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration_s}")
+        if self.kind in _DURABLE and self.duration_s == 0:
+            raise ValueError(f"{self.kind.value} needs a positive duration")
+        if not 0 < self.factor <= 1:
+            raise ValueError(f"degrade factor must be in (0, 1], got {self.factor}")
+        if self.kind is not FaultKind.LAN_DEGRADE and self.factor != 1.0:
+            raise ValueError("factor is only meaningful for lan_degrade")
+        if self.kind in (FaultKind.NODE_CRASH, FaultKind.HOST_OUTAGE,
+                         FaultKind.LINK_STALL, FaultKind.PARTITION) and not self.target:
+            raise ValueError(f"{self.kind.value} needs a target")
+
+    @property
+    def ends_at(self) -> float:
+        return self.at + self.duration_s
+
+    def sort_key(self) -> Tuple[float, str, str]:
+        return (self.at, self.kind.value, self.target)
+
+
+class FaultSchedule:
+    """An immutable, time-sorted sequence of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=FaultEvent.sort_key)
+        )
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSchedule):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule({len(self.events)} events, horizon={self.horizon:g}s)"
+
+    @property
+    def horizon(self) -> float:
+        """The instant the last fault has fully played out."""
+        return max((e.ends_at for e in self.events), default=0.0)
+
+    def of_kind(self, kind: FaultKind) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.kind is kind)
+
+
+def seeded_campaign(
+    streams: RandomStreams,
+    duration_s: float,
+    node_names: Sequence[str],
+    host_names: Sequence[str] = (),
+    n_crashes: int = 3,
+    n_stalls: int = 1,
+    stall_s: float = 2.0,
+    n_outages: int = 0,
+    outage_s: float = 2.0,
+    n_degrades: int = 1,
+    degrade_s: float = 5.0,
+    degrade_factor: float = 0.3,
+    window: Tuple[float, float] = (0.1, 0.8),
+) -> FaultSchedule:
+    """Draw a random campaign from named streams (reproducible by seed).
+
+    Fault instants land in ``[window[0], window[1]] * duration_s`` so
+    durable faults finish — and watchdog reboots complete — before the
+    scenario drains.  Each fault family draws from its own named stream,
+    so e.g. adding a stall never perturbs which nodes crash.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    lo, hi = window
+    if not 0 <= lo <= hi <= 1:
+        raise ValueError(f"window must satisfy 0 <= lo <= hi <= 1, got {window}")
+    if (n_crashes or n_outages or n_stalls) and not (node_names or host_names):
+        raise ValueError("campaign needs node/host names to target")
+
+    def _at(stream: str) -> float:
+        return streams.uniform(stream, lo * duration_s, hi * duration_s)
+
+    events = []
+    for _ in range(n_crashes):
+        target = node_names[streams.choice("faults-crash-target", len(node_names))]
+        events.append(FaultEvent(_at("faults-crash-at"), FaultKind.NODE_CRASH, target))
+    stall_targets = tuple(host_names) or tuple(node_names)
+    for _ in range(n_stalls):
+        target = stall_targets[streams.choice("faults-stall-target", len(stall_targets))]
+        events.append(
+            FaultEvent(
+                _at("faults-stall-at"), FaultKind.LINK_STALL, target,
+                duration_s=stall_s,
+            )
+        )
+    for _ in range(n_outages):
+        target = host_names[streams.choice("faults-outage-target", len(host_names))]
+        events.append(
+            FaultEvent(
+                _at("faults-outage-at"), FaultKind.HOST_OUTAGE, target,
+                duration_s=outage_s,
+            )
+        )
+    for _ in range(n_degrades):
+        events.append(
+            FaultEvent(
+                _at("faults-degrade-at"), FaultKind.LAN_DEGRADE,
+                duration_s=degrade_s, factor=degrade_factor,
+            )
+        )
+    return FaultSchedule(events)

@@ -43,12 +43,30 @@ and batched:
   every other flow, and the wire group (all flows sharing the LAN
   segment) is only re-filled when a *wire* flow arrives, departs, or
   changes cap — loopback churn never triggers a max-min pass.
+
+Fault hooks
+-----------
+The fault-injection layer (``repro.faults``) drives three degradation
+knobs, all of which go through the same dirty-flag/flush discipline so
+faulted runs stay deterministic:
+
+* ``stall_nic`` / ``unstall_nic`` — a stalled NIC carries no wire
+  traffic (rate 0 on every flow touching it); this models a dead
+  switch-to-host link.  Loopback traffic is unaffected: a co-located
+  switch and node keep talking even when the host's cable is pulled.
+* ``partition`` / ``heal_partition`` — flows crossing the partition
+  boundary are frozen at rate 0 until the partition heals.
+* ``set_bandwidth`` — changes the shared segment capacity mid-run
+  (LAN degradation), e.g. to model congestion from a bulk transfer.
+
+Blocked flows are not cancelled — they resume draining when the fault
+is lifted, exactly like a real TCP stream surviving a brief outage.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
 
 from repro.sim.kernel import Event, Simulator
 
@@ -176,6 +194,11 @@ class LAN:
         self._flush_pending = False
         self._wire_dirty = False
         self._loopback_dirty = False
+        # Fault state: stalled NICs carry no wire traffic; a partition
+        # freezes flows that cross its boundary.  Both empty in the
+        # common case so the allocator fast path stays fault-free.
+        self._stalled: Set[NetworkInterface] = set()
+        self._partition: Optional[FrozenSet[NetworkInterface]] = None
         # Observability: counter children bound once per attached
         # registry so the hot flush path pays one identity check, not a
         # registry lookup-and-create per flush.
@@ -218,6 +241,75 @@ class LAN:
     @property
     def active_flows(self) -> List[Flow]:
         return list(self._flows)
+
+    def find_nic(self, name: str) -> NetworkInterface:
+        """Look up an already-attached NIC by name."""
+        try:
+            return self._nics[name]
+        except KeyError:
+            raise ValueError(f"unknown NIC {name!r}") from None
+
+    # -- fault hooks --------------------------------------------------------
+    def stall_nic(self, nic: NetworkInterface) -> None:
+        """Freeze all wire traffic through ``nic`` (dead link).
+
+        Idempotent.  Loopback flows on the NIC keep draining — the stall
+        models the cable, not the host.
+        """
+        if nic not in self._stalled:
+            self._stalled.add(nic)
+            self._mark_dirty(wire=True)
+
+    def unstall_nic(self, nic: NetworkInterface) -> None:
+        """Lift a stall; frozen flows resume from where they stopped."""
+        if nic in self._stalled:
+            self._stalled.discard(nic)
+            self._mark_dirty(wire=True)
+
+    @property
+    def stalled_nics(self) -> Set[NetworkInterface]:
+        return set(self._stalled)
+
+    def partition(self, group: Iterable[NetworkInterface]) -> None:
+        """Split the segment: flows crossing ``group``'s boundary freeze.
+
+        Only one partition can be active at a time (the model is a
+        single shared segment, so one cut fully describes it).
+        """
+        if self._partition is not None:
+            raise ValueError("a partition is already active; heal it first")
+        members = frozenset(group)
+        if not members:
+            raise ValueError("partition group must be non-empty")
+        self._partition = members
+        self._mark_dirty(wire=True)
+
+    def heal_partition(self) -> None:
+        """Rejoin the segment; frozen cross-partition flows resume."""
+        if self._partition is not None:
+            self._partition = None
+            self._mark_dirty(wire=True)
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def set_bandwidth(self, bandwidth_mbps: float) -> None:
+        """Change the shared segment capacity mid-run (LAN degradation)."""
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"LAN bandwidth must be positive, got {bandwidth_mbps}")
+        if bandwidth_mbps != self.bandwidth_mbps:
+            self.bandwidth_mbps = bandwidth_mbps
+            self._mark_dirty(wire=True)
+
+    def _blocked(self, flow: Flow) -> bool:
+        """True when a fault freezes ``flow`` (stalled NIC / partition cut)."""
+        if flow.src in self._stalled or flow.dst in self._stalled:
+            return True
+        partition = self._partition
+        if partition is not None and (flow.src in partition) != (flow.dst in partition):
+            return True
+        return False
 
     # -- transfers ----------------------------------------------------------
     def transfer(
@@ -343,13 +435,38 @@ class LAN:
         wire = self._wire
         if not wire:
             return
+        if self._stalled or self._partition is not None:
+            # Fault path: blocked flows freeze at rate 0 and drop out of
+            # the max-min pass entirely (they hold no share of the
+            # segment or of their NICs while frozen).  The residual and
+            # count tables are rebuilt from the active subset — this is
+            # a scan, but it only runs while a fault is armed.
+            active: List[Flow] = []
+            for flow in wire:
+                if self._blocked(flow):
+                    flow.rate_mbs = 0.0
+                else:
+                    active.append(flow)
+            if not active:
+                return
+            wire = active
+            residual = {}
+            count = {}
+            for flow in wire:
+                for nic in (flow.src, flow.dst):
+                    if nic in count:
+                        count[nic] += 1
+                    else:
+                        count[nic] = 1
+                        residual[nic] = nic.rate_mbs
+        else:
+            residual = {}
+            count = {}
+            for nic, flows in self._nic_flows.items():
+                residual[nic] = nic.rate_mbs
+                count[nic] = len(flows)
         lan_residual = self.bandwidth_mbps / 8.0
         lan_count = len(wire)
-        residual: Dict[NetworkInterface, float] = {}
-        count: Dict[NetworkInterface, int] = {}
-        for nic, flows in self._nic_flows.items():
-            residual[nic] = nic.rate_mbs
-            count[nic] = len(flows)
         for flow in wire:
             flow._fixed = False
         unfixed = len(wire)

@@ -57,21 +57,44 @@ class ClassPriorityShedder:
     anything with ``_dispatcher.queue`` and ``nodes[*].workers.queue``).
     Under shared-platform pressure every class sees the same backlog
     growth, so the class with the smallest limit — bronze — sheds first.
+
+    With ``capacity_aware=True`` the limit additionally shrinks in
+    proportion to the fraction of the service's back-ends currently
+    able to serve (graceful degradation under faults): when replicas
+    crash, capacity drops, so the tolerable backlog drops with it and
+    low classes shed *before* the queue built for full capacity fills.
+    The default is off, preserving the PR 1 behaviour bit-for-bit.
     """
 
     def __init__(
         self,
         service_class: ServiceClass,
         base_queue_limit: int = DEFAULT_SHED_QUEUE_LIMIT,
+        capacity_aware: bool = False,
     ):
         if base_queue_limit < 1:
             raise ValueError(f"queue limit must be >= 1, got {base_queue_limit}")
         self.service_class = service_class
         self.base_queue_limit = base_queue_limit
+        self.capacity_aware = capacity_aware
 
     @property
     def queue_limit(self) -> int:
         return self.base_queue_limit * self.service_class.queue_tolerance
+
+    def effective_queue_limit(self, switch: Any) -> int:
+        """The limit in force right now (capacity-scaled when enabled)."""
+        limit = self.queue_limit
+        if not self.capacity_aware:
+            return limit
+        nodes = switch.nodes
+        total = len(nodes)
+        if total == 0:
+            return limit
+        healthy = sum(1 for node in nodes if node.is_available)
+        # Never scale below 1: a fully-dark service still sheds (every
+        # request) rather than dividing by zero.
+        return max(1, (limit * healthy) // total)
 
     def pressure(self, switch: Any) -> int:
         """Requests queued but not yet being served, switch + back-ends."""
@@ -81,7 +104,7 @@ class ClassPriorityShedder:
         return waiting
 
     def should_shed(self, switch: Any) -> bool:
-        return self.pressure(switch) >= self.queue_limit
+        return self.pressure(switch) >= self.effective_queue_limit(switch)
 
 
 def estimate_capacity_rps(n: int, cpu_mhz: float) -> float:

@@ -1,0 +1,127 @@
+"""Which guest states accept requests — the node state machine, pinned.
+
+Regression for the dispatchability gate: ``VirtualServiceNode`` must
+treat exactly ``RUNNING`` (and not torn down) as dispatchable.  Every
+other :class:`UmlState` — CREATED, BOOTING, CRASHED, STOPPED — refuses
+requests, and a switch whose only replica is in such a state raises
+:class:`ServiceUnavailableError` instead of dispatching to it.
+"""
+
+import pytest
+
+from repro.core.node import ServiceUnavailableError
+from repro.guestos.uml import UmlError, UmlState, UserModeLinux
+from repro.workload.apps import web_request
+from repro.workload.clients import ClientPool
+
+from tests.core.conftest import create_service
+
+
+def _request(tb):
+    if not hasattr(tb, "_test_clients"):
+        tb._test_clients = ClientPool(tb.lan, n=1)
+    return web_request(tb._test_clients.next_client(), 0.02)
+
+
+@pytest.fixture
+def service(testbed):
+    _reply, record = create_service(testbed, n=1)
+    return testbed, record
+
+
+def test_running_node_is_dispatchable(service):
+    tb, record = service
+    node = record.nodes[0]
+    assert node.vm.state is UmlState.RUNNING
+    assert node.is_available
+    response = tb.run(record.switch.serve(_request(tb)), name="req")
+    assert response.node_name == node.name
+
+
+def test_crashed_node_refuses_requests(service):
+    tb, record = service
+    node = record.nodes[0]
+    node.vm.crash(cause="test")
+    assert node.vm.state is UmlState.CRASHED
+    assert not node.is_available
+    with pytest.raises(ServiceUnavailableError):
+        tb.run(record.switch.serve(_request(tb)), name="req")
+
+
+def test_stopped_node_refuses_requests(service):
+    tb, record = service
+    node = record.nodes[0]
+    node.vm.shutdown()
+    assert node.vm.state is UmlState.STOPPED
+    assert not node.is_available
+    with pytest.raises(ServiceUnavailableError):
+        tb.run(record.switch.serve(_request(tb)), name="req")
+
+
+def test_created_and_booting_guests_are_not_dispatchable(service):
+    tb, record = service
+    node = record.nodes[0]
+    old = node.vm
+    fresh = UserModeLinux(
+        tb.sim, name=old.name, host=old.host, rootfs=old.rootfs,
+        guest_mem_mb=old.guest_mem_mb, syscall_model=old.syscalls,
+    )
+    node.vm = fresh
+    try:
+        assert fresh.state is UmlState.CREATED
+        assert not node.is_available
+        # Start — but do not finish — the boot: BOOTING, still not
+        # dispatchable.
+        proc = tb.spawn(fresh.boot(), name="boot")
+        tb.run(_step(tb), name="step")
+        assert fresh.state is UmlState.BOOTING
+        assert not node.is_available
+        with pytest.raises(ServiceUnavailableError):
+            tb.run(record.switch.serve(_request(tb)), name="req")
+        tb.sim.run()  # let the boot finish
+        assert proc.value is not None
+        assert fresh.state is UmlState.RUNNING
+        assert node.is_available
+    finally:
+        node.vm = old
+
+
+def _step(tb):
+    yield tb.sim.timeout(0.0)
+
+
+def test_torn_down_node_is_never_dispatchable(service):
+    tb, record = service
+    node = record.nodes[0]
+    node.teardown()
+    assert node.torn_down
+    assert node.vm.state is UmlState.STOPPED
+    assert not node.is_available
+
+
+def test_crash_transitions_are_guarded(service):
+    tb, record = service
+    node = record.nodes[0]
+    node.vm.crash(cause="test")
+    # CRASHED cannot crash again ...
+    with pytest.raises(UmlError):
+        node.vm.crash(cause="again")
+    # ... but can be shut down; STOPPED can do neither.
+    node.vm.shutdown()
+    with pytest.raises(UmlError):
+        node.vm.crash(cause="again")
+    with pytest.raises(UmlError):
+        node.vm.shutdown()
+
+
+def test_dispatchability_is_exactly_running(service):
+    """The gate the switch consults is precisely `RUNNING and not torn down`."""
+    tb, record = service
+    node = record.nodes[0]
+    vm = node.vm
+    for state in UmlState:
+        vm.state = state
+        assert node.is_available is (state is UmlState.RUNNING)
+    vm.state = UmlState.RUNNING
+    node.torn_down = True
+    assert not node.is_available

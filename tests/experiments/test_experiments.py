@@ -10,7 +10,8 @@ ALL_IDS = [
     "table1", "table2", "table3", "table4",
     "fig3", "fig4", "fig5", "fig6",
     "download",
-    "ablation-bridge-proxy", "ablation-ddos", "ablation-inflation",
+    "ablation-bridge-proxy", "ablation-ddos", "ablation-faults",
+    "ablation-inflation",
     "ablation-policies", "ablation-placement",
     "ablation-scheduler-shares", "ablation-tailoring",
 ]

@@ -1,0 +1,168 @@
+"""FaultInjector behaviour against a live testbed."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.guestos.uml import UmlState
+
+from tests.faults.conftest import _three_host_testbed, create_service
+
+
+def _entry_kinds(log, phase):
+    return [kind for _t, kind, _target, p in log if p == phase]
+
+
+class TestCrashInjection:
+    def test_explicit_crash_schedule(self, spread_testbed):
+        testbed = spread_testbed
+        record = create_service(testbed, n=2)
+        victim = record.nodes[0]
+        injector = FaultInjector(testbed.sim, testbed.lan, record.nodes)
+        armed_at = testbed.now
+        injector.arm(FaultSchedule([FaultEvent(1.0, FaultKind.NODE_CRASH, victim.name)]))
+        testbed.sim.run()
+        assert victim.vm.state is UmlState.CRASHED
+        assert record.nodes[1].vm.state is UmlState.RUNNING
+        assert injector.log == [
+            (armed_at + 1.0, "node_crash", victim.name, "inject")
+        ]
+        assert injector.injected == {"node_crash": 1}
+
+    def test_crashing_a_dead_node_is_a_skip(self, spread_testbed):
+        testbed = spread_testbed
+        record = create_service(testbed, n=2)
+        victim = record.nodes[0]
+        injector = FaultInjector(testbed.sim, testbed.lan, record.nodes)
+        injector.arm(
+            FaultSchedule(
+                [
+                    FaultEvent(1.0, FaultKind.NODE_CRASH, victim.name),
+                    FaultEvent(2.0, FaultKind.NODE_CRASH, victim.name),
+                    FaultEvent(3.0, FaultKind.NODE_CRASH, "no-such-node"),
+                ]
+            )
+        )
+        testbed.sim.run()
+        assert _entry_kinds(injector.log, "inject") == ["node_crash"]
+        assert _entry_kinds(injector.log, "skip") == ["node_crash", "node_crash"]
+        assert injector.injected == {"node_crash": 1}
+
+    def test_host_outage_crashes_all_guests_on_host(self, spread_testbed):
+        testbed = spread_testbed
+        record = create_service(testbed, n=3)
+        target = record.nodes[0].host.name
+        on_host = [n for n in record.nodes if n.host.name == target]
+        elsewhere = [n for n in record.nodes if n.host.name != target]
+        injector = FaultInjector(testbed.sim, testbed.lan, record.nodes)
+        injector.arm(
+            FaultSchedule(
+                [FaultEvent(1.0, FaultKind.HOST_OUTAGE, target, duration_s=2.0)]
+            )
+        )
+        testbed.sim.run()
+        assert on_host  # sanity: the target host actually hosted something
+        for node in on_host:
+            assert node.vm.state is UmlState.CRASHED
+        for node in elsewhere:
+            assert node.vm.state is UmlState.RUNNING
+        # The link darkened and came back.
+        assert _entry_kinds(injector.log, "inject") == ["host_outage"]
+        assert _entry_kinds(injector.log, "restore") == ["host_outage"]
+        assert not testbed.lan.stalled_nics
+
+
+class TestLinkAndSegmentFaults:
+    def test_stall_freezes_then_releases_a_transfer(self, testbed):
+        lan = testbed.lan
+        src = lan.find_nic("seattle")
+        dst = lan.find_nic("tacoma")
+        injector = FaultInjector(testbed.sim, lan)
+        injector.arm(
+            FaultSchedule(
+                [FaultEvent(0.0, FaultKind.LINK_STALL, "tacoma", duration_s=2.0)]
+            )
+        )
+        done_at = {}
+
+        def transfer():
+            flow = lan.transfer(src, dst, 1.0, label="probe")
+            yield flow.done
+            done_at["t"] = testbed.now
+
+        testbed.spawn(transfer(), name="probe")
+        testbed.sim.run()
+        # Unimpeded, 1 MB over 100 Mbps takes ~0.08 s; the 2 s stall
+        # must dominate the completion time.
+        assert done_at["t"] >= 2.0
+        assert not lan.stalled_nics
+
+    def test_partition_blocks_cross_island_traffic(self, testbed):
+        lan = testbed.lan
+        src = lan.find_nic("seattle")
+        dst = lan.find_nic("tacoma")
+        injector = FaultInjector(testbed.sim, lan)
+        injector.arm(
+            FaultSchedule(
+                [FaultEvent(0.0, FaultKind.PARTITION, "seattle", duration_s=3.0)]
+            )
+        )
+        done_at = {}
+
+        def transfer():
+            flow = lan.transfer(src, dst, 1.0, label="probe")
+            yield flow.done
+            done_at["t"] = testbed.now
+
+        testbed.spawn(transfer(), name="probe")
+        testbed.sim.run()
+        assert done_at["t"] >= 3.0
+        assert not lan.partitioned
+        assert _entry_kinds(injector.log, "restore") == ["partition"]
+
+    def test_degrade_scales_bandwidth_then_restores(self, testbed):
+        lan = testbed.lan
+        nominal = lan.bandwidth_mbps
+        injector = FaultInjector(testbed.sim, lan)
+        seen = {}
+
+        def sampler():
+            yield testbed.sim.timeout(1.0)
+            seen["mid"] = lan.bandwidth_mbps
+
+        testbed.spawn(sampler(), name="sampler")
+        injector.arm(
+            FaultSchedule(
+                [
+                    FaultEvent(
+                        0.5, FaultKind.LAN_DEGRADE, duration_s=2.0, factor=0.5
+                    )
+                ]
+            )
+        )
+        testbed.sim.run()
+        assert seen["mid"] == nominal * 0.5
+        assert lan.bandwidth_mbps == nominal
+
+
+class TestDeterminism:
+    def test_identical_log_across_fresh_runs(self):
+        def run_once():
+            tb = _three_host_testbed()
+            record = create_service(tb, n=2)
+            injector = FaultInjector(tb.sim, tb.lan, record.nodes)
+            injector.arm(
+                FaultSchedule(
+                    [
+                        FaultEvent(1.0, FaultKind.NODE_CRASH, record.nodes[0].name),
+                        FaultEvent(
+                            2.0, FaultKind.LAN_DEGRADE, duration_s=1.0, factor=0.3
+                        ),
+                        FaultEvent(
+                            2.5, FaultKind.LINK_STALL, "h1", duration_s=0.5
+                        ),
+                    ]
+                )
+            )
+            tb.sim.run()
+            return tuple(injector.log)
+
+        assert run_once() == run_once()

@@ -1,0 +1,160 @@
+"""FaultEvent / FaultSchedule / seeded_campaign unit tests."""
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    seeded_campaign,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestFaultEvent:
+    def test_negative_instant_rejected(self):
+        with pytest.raises(ValueError, match="instant"):
+            FaultEvent(-1.0, FaultKind.NODE_CRASH, "web-0")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(1.0, FaultKind.NODE_CRASH, "web-0", duration_s=-2.0)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            FaultKind.HOST_OUTAGE,
+            FaultKind.LINK_STALL,
+            FaultKind.LAN_DEGRADE,
+            FaultKind.PARTITION,
+        ],
+    )
+    def test_durable_kinds_need_duration(self, kind):
+        with pytest.raises(ValueError, match="duration"):
+            FaultEvent(1.0, kind, "x", duration_s=0.0)
+
+    def test_crash_is_an_instant(self):
+        event = FaultEvent(1.0, FaultKind.NODE_CRASH, "web-0")
+        assert event.duration_s == 0.0
+        assert event.ends_at == 1.0
+
+    def test_factor_bounds(self):
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(1.0, FaultKind.LAN_DEGRADE, duration_s=1.0, factor=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            FaultEvent(1.0, FaultKind.LAN_DEGRADE, duration_s=1.0, factor=1.5)
+        event = FaultEvent(1.0, FaultKind.LAN_DEGRADE, duration_s=1.0, factor=0.25)
+        assert event.factor == 0.25
+
+    def test_factor_only_for_degrade(self):
+        with pytest.raises(ValueError, match="lan_degrade"):
+            FaultEvent(1.0, FaultKind.NODE_CRASH, "web-0", factor=0.5)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            FaultKind.NODE_CRASH,
+            FaultKind.HOST_OUTAGE,
+            FaultKind.LINK_STALL,
+            FaultKind.PARTITION,
+        ],
+    )
+    def test_target_required(self, kind):
+        with pytest.raises(ValueError, match="target"):
+            FaultEvent(1.0, kind, duration_s=1.0)
+
+    def test_degrade_needs_no_target(self):
+        event = FaultEvent(0.0, FaultKind.LAN_DEGRADE, duration_s=2.0, factor=0.5)
+        assert event.target == ""
+        assert event.ends_at == 2.0
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_instant(self):
+        early = FaultEvent(1.0, FaultKind.NODE_CRASH, "b")
+        late = FaultEvent(5.0, FaultKind.NODE_CRASH, "a")
+        schedule = FaultSchedule([late, early])
+        assert schedule.events == (early, late)
+
+    def test_ties_break_on_kind_then_target(self):
+        crash = FaultEvent(1.0, FaultKind.NODE_CRASH, "z")
+        stall = FaultEvent(1.0, FaultKind.LINK_STALL, "a", duration_s=1.0)
+        crash2 = FaultEvent(1.0, FaultKind.NODE_CRASH, "a")
+        schedule = FaultSchedule([crash, stall, crash2])
+        # link_stall < node_crash alphabetically on kind value.
+        assert schedule.events == (stall, crash2, crash)
+
+    def test_horizon_covers_durations(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(8.0, FaultKind.NODE_CRASH, "a"),
+                FaultEvent(2.0, FaultKind.LINK_STALL, "h", duration_s=10.0),
+            ]
+        )
+        assert schedule.horizon == 12.0
+        assert FaultSchedule().horizon == 0.0
+
+    def test_of_kind(self):
+        crash = FaultEvent(1.0, FaultKind.NODE_CRASH, "a")
+        stall = FaultEvent(2.0, FaultKind.LINK_STALL, "h", duration_s=1.0)
+        schedule = FaultSchedule([crash, stall])
+        assert schedule.of_kind(FaultKind.NODE_CRASH) == (crash,)
+        assert schedule.of_kind(FaultKind.HOST_OUTAGE) == ()
+
+    def test_equality_and_hash_ignore_input_order(self):
+        a = FaultEvent(1.0, FaultKind.NODE_CRASH, "a")
+        b = FaultEvent(2.0, FaultKind.NODE_CRASH, "b")
+        assert FaultSchedule([a, b]) == FaultSchedule([b, a])
+        assert hash(FaultSchedule([a, b])) == hash(FaultSchedule([b, a]))
+        assert FaultSchedule([a]) != FaultSchedule([b])
+
+
+class TestSeededCampaign:
+    NODES = ["web-0", "web-1", "db-0"]
+    HOSTS = ["seattle", "tacoma"]
+
+    def _campaign(self, seed, **kwargs):
+        return seeded_campaign(
+            RandomStreams(seed), 60.0, self.NODES, self.HOSTS, **kwargs
+        )
+
+    def test_same_seed_same_campaign(self):
+        assert self._campaign(7) == self._campaign(7)
+
+    def test_different_seeds_differ(self):
+        assert self._campaign(7) != self._campaign(8)
+
+    def test_counts_and_kinds(self):
+        campaign = self._campaign(0, n_crashes=2, n_stalls=1, n_outages=1, n_degrades=1)
+        assert len(campaign.of_kind(FaultKind.NODE_CRASH)) == 2
+        assert len(campaign.of_kind(FaultKind.LINK_STALL)) == 1
+        assert len(campaign.of_kind(FaultKind.HOST_OUTAGE)) == 1
+        assert len(campaign.of_kind(FaultKind.LAN_DEGRADE)) == 1
+        assert len(campaign) == 5
+
+    def test_instants_inside_window(self):
+        campaign = self._campaign(3, n_crashes=5, n_outages=2)
+        for event in campaign:
+            assert 0.1 * 60.0 <= event.at <= 0.8 * 60.0
+
+    def test_targets_drawn_from_given_names(self):
+        campaign = self._campaign(11, n_crashes=6, n_outages=3)
+        for event in campaign.of_kind(FaultKind.NODE_CRASH):
+            assert event.target in self.NODES
+        for event in campaign.of_kind(FaultKind.HOST_OUTAGE):
+            assert event.target in self.HOSTS
+        for event in campaign.of_kind(FaultKind.LINK_STALL):
+            assert event.target in self.HOSTS  # host names preferred
+
+    def test_stalls_fall_back_to_node_names(self):
+        campaign = seeded_campaign(RandomStreams(0), 10.0, self.NODES, n_stalls=2)
+        for event in campaign.of_kind(FaultKind.LINK_STALL):
+            assert event.target in self.NODES
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            seeded_campaign(RandomStreams(0), 0.0, self.NODES)
+        with pytest.raises(ValueError, match="window"):
+            seeded_campaign(RandomStreams(0), 10.0, self.NODES, window=(0.9, 0.2))
+        with pytest.raises(ValueError, match="target"):
+            seeded_campaign(RandomStreams(0), 10.0, [], n_crashes=1)

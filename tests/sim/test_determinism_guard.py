@@ -1,8 +1,9 @@
 """Determinism guard: same seed, same machine, bit-identical output.
 
 These tests pin the reproduction's core guarantee — a seeded run is a
-pure function of its inputs.  They exercise two full end-to-end paths
-(the Figure 4 load-balancing experiment and the SLA billing scenario),
+pure function of its inputs.  They exercise three full end-to-end paths
+(the Figure 4 load-balancing experiment, the SLA billing scenario, and
+the chaos fault-injection scenario),
 run each twice with the same seed, and compare every float bit-for-bit
 (``==``, never ``approx``).  Any hidden nondeterminism introduced by
 substrate changes (set iteration order, batched recomputation, direct
@@ -16,6 +17,7 @@ disabled — `repro.obs` observes, never perturbs.
 """
 
 import repro.experiments.fig4_loadbalance as fig4
+from repro.faults.chaos import run_chaos_scenario
 from repro.obs import Observability
 from tests.sla.test_e2e import run_sla_scenario
 
@@ -94,3 +96,32 @@ def test_sla_digest_unchanged_by_full_observability():
         observed = _sla_digest(7)
     assert plain == observed
     assert len(hub.tracer.spans()) > 0
+
+
+# -- fault injection joins the determinism contract ---------------------------
+
+
+def _chaos_digest(seed):
+    return run_chaos_scenario(seed=seed, duration_s=30.0).digest()
+
+
+def test_chaos_digest_bit_identical_across_runs():
+    # Same seed drives the same campaign, the same failovers, the same
+    # watchdog reboots — every fault-log entry and outcome identical.
+    assert _chaos_digest(0) == _chaos_digest(0)
+
+
+def test_chaos_different_seeds_actually_differ():
+    assert _chaos_digest(1) != _chaos_digest(2)
+
+
+def test_chaos_digest_unchanged_by_full_observability():
+    plain = _chaos_digest(0)
+    hub = Observability(tracing=True, metrics=True, profile=True)
+    with hub.activate():
+        observed = _chaos_digest(0)
+    assert plain == observed
+    # Fault spans and counters were actually emitted — without
+    # perturbing a single injection or retry instant.
+    assert len(hub.tracer.spans()) > 0
+    assert "soda_faults_injected_total" in hub.prometheus()
