@@ -1,6 +1,6 @@
 # Convenience targets for the SODA reproduction.
 
-.PHONY: install test lint chaos coverage bench bench-compare bench-pytest experiments report examples obs-demo all
+.PHONY: install test lint chaos coverage bench bench-compare bench-pytest experiments report examples obs-demo market-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -44,8 +44,14 @@ examples:
 	python examples/diurnal_autoscaler.py
 	python examples/sla_tiers.py
 	python examples/observability.py
+	python examples/market_economics.py
 
 obs-demo:
 	PYTHONPATH=src python examples/observability.py obs-demo
+
+# Spot pricing, bid-aware admission, and the market-vs-FCFS ablation.
+market-demo:
+	PYTHONPATH=src python examples/market_economics.py
+	PYTHONPATH=src python -m repro.experiments.runner run ablation-market --fast
 
 all: test bench

@@ -114,12 +114,40 @@ def bench_service_creation_roundtrip() -> float:
     return testbed.now
 
 
+def bench_admission_decision_throughput() -> float:
+    """50k economic admission decisions across the outcome space.
+
+    The admission gate sits on the ``SODA_service_creation`` hot path
+    (and the scenario queue drain re-scores on every repricing), so its
+    per-decision cost bounds how many tenants a market run can carry.
+    """
+    from repro.market.admission import EconomicAdmission
+    from repro.sla.contract import SLAContract
+
+    policy = EconomicAdmission()
+    sla = SLAContract.gold()
+    for i in range(50_000):
+        policy.decide(
+            bid_per_m_hour=0.5 + (i % 40) * 0.1,
+            remaining_budget=float(i % 7),
+            n_units=1 + i % 4,
+            hold_s=60.0 + (i % 10) * 30.0,
+            spot_rate=1.0 + (i % 8) * 0.25,
+            utilization=(i % 100) / 100.0,
+            sla=sla if i % 2 else None,
+            capacity_available=bool(i % 3),
+        )
+    assert policy.decided == 50_000
+    return float(policy.decided)
+
+
 #: bench name -> (callable, default rounds).
 BENCHES: Dict[str, tuple] = {
     "kernel_event_throughput": (bench_kernel_event_throughput, 5),
     "lan_flow_churn": (bench_lan_flow_churn, 5),
     "scheduler_quantum_loop": (bench_scheduler_quantum_loop, 5),
     "service_creation_roundtrip": (bench_service_creation_roundtrip, 3),
+    "admission_decision_throughput": (bench_admission_decision_throughput, 5),
 }
 
 

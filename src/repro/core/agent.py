@@ -60,11 +60,19 @@ class SODAAgent:
         master: SODAMaster,
         registry: Optional[ASPRegistry] = None,
         ledger: Optional[BillingLedger] = None,
+        admission: Optional[Any] = None,
     ):
+        """``admission`` optionally installs an economic admission hook
+        (duck-typed: ``review(asp, requirement, sla, master, now,
+        ledger)`` raising :class:`~repro.core.errors.AdmissionError` to
+        refuse) — see :class:`repro.market.admission.MarketAdmissionHook`.
+        Left ``None``, service creation is exactly the capacity+SLA path.
+        """
         self.sim = sim
         self.master = master
         self.registry = registry or ASPRegistry()
         self.ledger = ledger or BillingLedger()
+        self.admission = admission
 
     # -- account management ---------------------------------------------------
     def register_asp(self, name: str, secret: str, contact: str = "") -> None:
@@ -88,6 +96,13 @@ class SODAAgent:
         no credits).
         """
         account = self.registry.authenticate(credentials)
+        if self.admission is not None:
+            # Market gate (extension): priced-out or over-budget tenants
+            # are refused before the Master runs capacity admission.
+            self.admission.review(
+                account.name, requirement, sla, self.master,
+                self.sim.now, self.ledger,
+            )
         yield self.sim.timeout(API_OVERHEAD_S)
         started = self.sim.now
         record = yield from self.master.create_service(

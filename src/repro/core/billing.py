@@ -6,6 +6,12 @@ holding capacity for ``k`` machine instances M accrues
 ``k * rate_per_m_hour`` per hour of simulated time.  Resizing changes
 the accrual rate from the moment it takes effect.
 
+Spot pricing (market extension, see :mod:`repro.market.pricing`): the
+platform rate may change over time via :meth:`BillingLedger.set_rate`.
+A rate change splits every open segment at the change instant, so time
+already served is always billed at the rate in force while it was
+served — mid-segment repricing never back-bills.
+
 SLA settlement (see :mod:`repro.sla.penalties`) posts
 :class:`CreditNote` entries against the ledger; an invoice nets out
 gross accrual minus credits, floored at zero.
@@ -14,26 +20,32 @@ gross accrual minus credits, floored at zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["UsageSegment", "CreditNote", "BillingLedger"]
+__all__ = ["UsageSegment", "CreditNote", "Invoice", "BillingLedger"]
 
 DEFAULT_RATE_PER_M_HOUR = 1.0  # currency units per machine-instance-hour
 
 
 @dataclass(frozen=True)
 class UsageSegment:
-    """A span during which a service held a constant capacity."""
+    """A span during which a service held a constant capacity at a
+    constant rate."""
 
     service: str
     asp: str
     start: float
     end: float
     m_units: int
+    rate_per_m_hour: float = DEFAULT_RATE_PER_M_HOUR
 
     @property
     def hours(self) -> float:
         return (self.end - self.start) / 3600.0
+
+    @property
+    def cost(self) -> float:
+        return self.hours * self.m_units * self.rate_per_m_hour
 
 
 @dataclass(frozen=True)
@@ -51,8 +63,28 @@ class CreditNote:
             raise ValueError(f"credit amount must be positive, got {self.amount}")
 
 
+@dataclass(frozen=True)
+class Invoice:
+    """One ASP's bill as of an instant: accrual, credits, amount due."""
+
+    asp: str
+    issued_at: float
+    machine_hours: float
+    gross: float
+    credits: float
+
+    @property
+    def amount_due(self) -> float:
+        """Accrual net of credits, floored at zero."""
+        return max(0.0, self.gross - self.credits)
+
+
 class BillingLedger:
-    """Accrues machine-instance-hours per service and invoices per ASP."""
+    """Accrues machine-instance-hours per service and invoices per ASP.
+
+    ``rate_per_m_hour`` is the rate *currently* in force; historical
+    segments keep the rate they accrued under (see :meth:`set_rate`).
+    """
 
     def __init__(self, rate_per_m_hour: float = DEFAULT_RATE_PER_M_HOUR):
         if rate_per_m_hour < 0:
@@ -61,6 +93,7 @@ class BillingLedger:
         self._open: Dict[str, tuple] = {}  # service -> (asp, start, m_units)
         self._segments: List[UsageSegment] = []
         self._credits: List[CreditNote] = []
+        self._rate_history: List[Tuple[float, float]] = []  # (changed_at, rate)
 
     def service_started(self, service: str, asp: str, now: float, m_units: int) -> None:
         if service in self._open:
@@ -89,8 +122,42 @@ class BillingLedger:
         if end < start:
             raise ValueError(f"segment ends before it starts: {end} < {start}")
         self._segments.append(
-            UsageSegment(service=service, asp=asp, start=start, end=end, m_units=m_units)
+            UsageSegment(
+                service=service, asp=asp, start=start, end=end, m_units=m_units,
+                rate_per_m_hour=self.rate_per_m_hour,
+            )
         )
+
+    # -- spot pricing (market extension) ---------------------------------
+    def set_rate(self, rate_per_m_hour: float, now: float) -> None:
+        """Change the platform rate from ``now`` on.
+
+        Every open segment is split at ``now``: the span already served
+        is closed at the old rate, and a fresh span opens at the new
+        one, so repricing never back-bills history.  A segment whose
+        open instant *is* ``now`` has accrued no time at the old rate
+        and is simply re-opened (no zero-duration split is recorded).
+        """
+        if rate_per_m_hour < 0:
+            raise ValueError(f"rate cannot be negative: {rate_per_m_hour}")
+        if rate_per_m_hour == self.rate_per_m_hour:
+            return
+        for service, (asp, start, m_units) in list(self._open.items()):
+            if start > now:
+                raise ValueError(
+                    f"rate change at {now} predates open segment of "
+                    f"{service!r} (started {start})"
+                )
+            if start < now:
+                self._close(service, asp, start, now, m_units)
+                self._open[service] = (asp, now, m_units)
+        self.rate_per_m_hour = rate_per_m_hour
+        self._rate_history.append((now, rate_per_m_hour))
+
+    @property
+    def rate_history(self) -> List[Tuple[float, float]]:
+        """(changed_at, rate) for every :meth:`set_rate` call, in order."""
+        return list(self._rate_history)
 
     # -- queries ---------------------------------------------------------
     def machine_hours(self, service: str, now: float) -> float:
@@ -102,16 +169,37 @@ class BillingLedger:
         return total
 
     def gross(self, asp: str, now: float) -> float:
-        """Accrued charges of ``asp`` as of ``now``, before SLA credits."""
-        total = sum(s.hours * s.m_units for s in self._segments if s.asp == asp)
+        """Accrued charges of ``asp`` as of ``now``, before SLA credits.
+
+        Closed segments bill at the rate in force while they accrued;
+        open spans bill at the current rate (``set_rate`` splits them,
+        so an open span never straddles a rate change).
+        """
+        total = sum(s.cost for s in self._segments if s.asp == asp)
         for service, (open_asp, start, m_units) in self._open.items():
             if open_asp == asp:
-                total += (now - start) / 3600.0 * m_units
-        return total * self.rate_per_m_hour
+                total += (now - start) / 3600.0 * m_units * self.rate_per_m_hour
+        return total
 
     def invoice(self, asp: str, now: float) -> float:
         """Amount owed by ``asp`` as of ``now``: accrual net of credits."""
         return max(0.0, self.gross(asp, now) - self.credit_total(asp=asp))
+
+    def invoice_detail(self, asp: str, now: float) -> Invoice:
+        """The itemised bill behind :meth:`invoice`."""
+        total_hours = sum(
+            s.hours * s.m_units for s in self._segments if s.asp == asp
+        )
+        for service, (open_asp, start, m_units) in self._open.items():
+            if open_asp == asp:
+                total_hours += (now - start) / 3600.0 * m_units
+        return Invoice(
+            asp=asp,
+            issued_at=now,
+            machine_hours=total_hours,
+            gross=self.gross(asp, now),
+            credits=self.credit_total(asp=asp),
+        )
 
     # -- SLA credits -----------------------------------------------------
     def add_credit(
@@ -137,7 +225,11 @@ class BillingLedger:
 
     def service_gross(self, service: str, now: float) -> float:
         """One service's accrued charges as of ``now``, before credits."""
-        return self.machine_hours(service, now) * self.rate_per_m_hour
+        total = sum(s.cost for s in self._segments if s.service == service)
+        if service in self._open:
+            asp, start, m_units = self._open[service]
+            total += (now - start) / 3600.0 * m_units * self.rate_per_m_hour
+        return total
 
     @property
     def credits(self) -> List[CreditNote]:

@@ -2,15 +2,21 @@
 
 "One way to construct a wide-area HUP is to *federate* multiple local
 HUPs, each having its own SODA Agent and Master."  The federation layer
-here routes a service creation request to the first member HUP that can
-admit it (members keep full autonomy: each has its own Agent, Master,
-accounts and billing), and remembers the placement so teardown/resizing
-reach the right HUP.
+here routes a service creation request across member HUPs (members keep
+full autonomy: each has its own Agent, Master, accounts and billing),
+and remembers the placement so teardown/resizing reach the right HUP.
+
+Member selection is pluggable: a *selection strategy* orders the
+members to try for each request.  The default is first-fit in
+registration order (the original behaviour); the market layer provides
+a cheapest-spot-price strategy
+(:func:`repro.market.placement.cheapest_spot_price`) so price-aware
+federations route tenants to the member currently charging least.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.core.agent import ServiceCreationReply, SODAAgent
 from repro.core.auth import Credentials
@@ -20,17 +26,44 @@ from repro.core.requirements import ResourceRequirement
 from repro.image.repository import ImageRepository
 from repro.sim.kernel import Event
 
-__all__ = ["FederatedHUP"]
+__all__ = ["FederatedHUP", "first_fit"]
+
+#: A selection strategy: (requirement, members) -> member names in try order.
+SelectionStrategy = Callable[
+    [ResourceRequirement, Dict[str, SODAAgent]], Sequence[str]
+]
+
+
+def first_fit(
+    requirement: ResourceRequirement, members: Dict[str, SODAAgent]
+) -> List[str]:
+    """The default strategy: members in registration order."""
+    return list(members)
 
 
 class FederatedHUP:
     """Routes SODA API calls across multiple autonomous local HUPs."""
 
-    def __init__(self, members: Dict[str, SODAAgent]):
+    def __init__(
+        self,
+        members: Dict[str, SODAAgent],
+        selection: Optional[SelectionStrategy] = None,
+    ):
         if not members:
             raise ValueError("a federation needs at least one member HUP")
         self.members = dict(members)
+        self.selection = selection or first_fit
         self._placements: Dict[str, str] = {}  # service -> member name
+
+    def _candidate_order(self, requirement: ResourceRequirement) -> List[str]:
+        """The members to try, in strategy order (validated)."""
+        order = list(self.selection(requirement, dict(self.members)))
+        unknown = [name for name in order if name not in self.members]
+        if unknown:
+            raise ValueError(
+                f"selection strategy returned non-member HUP(s): {unknown}"
+            )
+        return order
 
     @property
     def member_names(self) -> List[str]:
@@ -54,7 +87,7 @@ class FederatedHUP:
         requirement: ResourceRequirement,
         policy: Optional[SwitchingPolicy] = None,
     ) -> Generator[Event, Any, ServiceCreationReply]:
-        """Create on the first member whose Master can admit ``<n, M>``.
+        """Create on the first member (in strategy order) that admits.
 
         Each member authenticates independently (autonomous management):
         the ASP must be registered with the member that ends up hosting.
@@ -62,7 +95,8 @@ class FederatedHUP:
         if service_name in self._placements:
             raise AdmissionError(f"service {service_name!r} already placed")
         last_error: Optional[Exception] = None
-        for member_name, agent in self.members.items():
+        for member_name in self._candidate_order(requirement):
+            agent = self.members[member_name]
             if not agent.master.can_admit(requirement):
                 continue
             try:

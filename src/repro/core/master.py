@@ -103,6 +103,20 @@ class SODAMaster:
         except AdmissionError:
             return False
 
+    def utilization(self) -> float:
+        """Platform-wide scalar utilization in [0, 1].
+
+        Per host, the binding dimension (the largest reserved fraction
+        across CPU / memory / disk / bandwidth) is what blocks the next
+        reservation; the platform figure is the mean over hosts.  Spot
+        pricing (:mod:`repro.market.pricing`) reprices from this.
+        """
+        fractions = []
+        for daemon in self.daemons.values():
+            per_dim = daemon.host.reservations.utilisation()
+            fractions.append(max(per_dim.values()))
+        return sum(fractions) / len(fractions)
+
     # -- creation -----------------------------------------------------------
     def create_service(
         self,
@@ -202,6 +216,7 @@ class SODAMaster:
             policy=policy,
             home_node=record.nodes[0],
         )
+        record.switch.tenant = asp
         if sla is not None:
             from repro.sla.enforcement import ClassPriorityShedder
 
@@ -317,6 +332,7 @@ class SODAMaster:
             policy=policy,
             home_node=record.nodes[0],
         )
+        record.switch.tenant = asp
         record.transition(ServiceState.RUNNING)
         record.primed_at = self.sim.now
         return record

@@ -112,6 +112,10 @@ class ServiceSwitch:
         self.quarantined: Set[str] = set()
         self.failovers = 0
         self.timeouts = 0
+        # Market hook (extension): the owning tenant/ASP, set by the
+        # SODA Master so per-request metrics and spans carry a tenant
+        # dimension for isolation accounting.
+        self.tenant: Optional[str] = None
         # Observability: metric children bound against whichever registry
         # is attached to the simulator (rebound if it changes).
         self._obs_cache: Optional[tuple] = None
@@ -151,6 +155,11 @@ class ServiceSwitch:
                     "Requests that exhausted their timeout budget.",
                     ("service",),
                 ),
+                registry.counter(
+                    "soda_tenant_requests_total",
+                    "Requests by owning tenant and outcome (market extension).",
+                    ("tenant", "service", "outcome"),
+                ),
             )
         return self._obs_cache
 
@@ -162,6 +171,10 @@ class ServiceSwitch:
         requests.inc(service=self.service_name, outcome=outcome)
         if latency_s is not None:
             latency.observe(latency_s, service=self.service_name)
+        if self.tenant is not None:
+            cache[6].inc(
+                tenant=self.tenant, service=self.service_name, outcome=outcome
+            )
 
     # -- SLA hooks (extension) ----------------------------------------------
     def add_outcome_listener(
@@ -284,6 +297,8 @@ class ServiceSwitch:
                 )
                 request = replace(request, trace=root)
             dispatch = tracer.start_span("dispatch", lane=lane, start=started, parent=root)
+            if self.tenant is not None:
+                dispatch.annotate(tenant=self.tenant)
         # 1. Client -> switch home node.
         inbound = self.lan.transfer(
             request.client, self.home_node.host.nic, REQUEST_SIZE_MB,

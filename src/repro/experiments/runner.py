@@ -41,6 +41,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         ablation_ddos,
         ablation_faults,
         ablation_inflation,
+        ablation_market,
         ablation_placement,
         ablation_policies,
         ablation_scheduler_shares,
@@ -74,6 +75,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         ablation_placement,
         ablation_scheduler_shares,
         ablation_tailoring,
+        ablation_market,
     ]
     return {m.EXPERIMENT_ID: m.run for m in modules}
 

@@ -1,0 +1,49 @@
+"""Market-based multi-tenant economics (extension).
+
+The SODA Agent already owns billing (paper §2.2); this package makes
+the platform a *market*: tenants with budgets and bids
+(:mod:`repro.market.tenant`), utilization-driven spot pricing of HUP
+capacity (:mod:`repro.market.pricing`), bid-aware admission scored as
+expected revenue minus expected SLA penalty exposure
+(:mod:`repro.market.admission`), fairness and isolation accounting
+(:mod:`repro.market.fairness`), and a seeded contention scenario
+harness that ablates market against FCFS admission
+(:mod:`repro.market.scenario`, surfaced as ``ablation-market``).
+"""
+
+from repro.market.admission import (
+    AdmissionDecision,
+    EconomicAdmission,
+    FCFSAdmission,
+    MarketAdmissionHook,
+)
+from repro.market.fairness import FairnessAccountant, jains_index
+from repro.market.placement import cheapest_spot_price
+from repro.market.pricing import PricingParams, SpotPricer, reprice
+from repro.market.scenario import (
+    MarketReport,
+    ScenarioParams,
+    fast_params,
+    run_market_scenario,
+)
+from repro.market.tenant import BudgetExceededError, Tenant, TenantRegistry
+
+__all__ = [
+    "AdmissionDecision",
+    "BudgetExceededError",
+    "EconomicAdmission",
+    "FCFSAdmission",
+    "FairnessAccountant",
+    "MarketAdmissionHook",
+    "MarketReport",
+    "PricingParams",
+    "ScenarioParams",
+    "SpotPricer",
+    "Tenant",
+    "TenantRegistry",
+    "cheapest_spot_price",
+    "fast_params",
+    "jains_index",
+    "reprice",
+    "run_market_scenario",
+]

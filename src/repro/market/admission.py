@@ -1,0 +1,280 @@
+"""Bid-aware admission: expected revenue minus expected penalty.
+
+Capacity-plus-SLA admission (the pre-market behaviour) answers "does it
+fit?".  Economic admission answers "is hosting this request worth more
+than it risks?": each service-creation request is scored
+
+    score = expected revenue - expected SLA penalty exposure
+          = spot_rate * machine_hours
+            - E[violations] * credit_per_violation   (capped)
+
+where the penalty expectation reuses the cap semantics of
+:func:`repro.sla.penalties.credit_for_violations` — the same function
+that later prices *real* violations, so the admission-time estimate and
+the settlement-time charge share one model.  Expected violations scale
+with how far platform utilization sits above the breach threshold: a
+saturated platform admits marginal bids only if the revenue clears the
+penalty exposure it creates.
+
+Outcomes are ``admitted`` / ``rejected`` / ``queued``; every policy
+keeps decision counters so the conservation property (admitted +
+rejected + queued == decided) is checkable at any instant.
+
+:class:`FCFSAdmission` is the ablation baseline: first come, first
+served by capacity alone (budget-checked, bids ignored).
+
+:class:`MarketAdmissionHook` adapts a policy + tenant registry + spot
+pricer to the :class:`~repro.core.agent.SODAAgent` admission hook, so
+the real control plane rejects priced-out or over-budget requests
+before the SODA Master ever sees them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import AdmissionError
+from repro.sla.contract import SLAContract
+from repro.sla.penalties import credit_for_violations
+
+if TYPE_CHECKING:  # avoid a market -> core import cycle at runtime
+    from repro.core.master import SODAMaster
+    from repro.core.requirements import ResourceRequirement
+    from repro.market.pricing import SpotPricer
+    from repro.market.tenant import TenantRegistry
+
+__all__ = [
+    "AdmissionDecision",
+    "EconomicAdmission",
+    "FCFSAdmission",
+    "MarketAdmissionHook",
+]
+
+ADMITTED = "admitted"
+REJECTED = "rejected"
+QUEUED = "queued"
+
+#: Utilization at which SLA breach exposure starts accruing.
+BREACH_UTILIZATION = 0.9
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admission verdict, with the economics behind it."""
+
+    outcome: str
+    expected_revenue: float = 0.0
+    expected_penalty: float = 0.0
+    reason: str = ""
+
+    @property
+    def score(self) -> float:
+        return self.expected_revenue - self.expected_penalty
+
+
+class _CountingPolicy:
+    """Decision counters shared by every admission policy."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+        self.queued = 0
+
+    @property
+    def decided(self) -> int:
+        return self.admitted + self.rejected + self.queued
+
+    def _count(self, decision: AdmissionDecision) -> AdmissionDecision:
+        if decision.outcome == ADMITTED:
+            self.admitted += 1
+        elif decision.outcome == REJECTED:
+            self.rejected += 1
+        else:
+            self.queued += 1
+        return decision
+
+
+class EconomicAdmission(_CountingPolicy):
+    """Scores requests by expected revenue minus penalty exposure."""
+
+    def __init__(
+        self,
+        min_score: float = 0.0,
+        breach_utilization: float = BREACH_UTILIZATION,
+        horizon_s: float = 3600.0,
+    ):
+        super().__init__()
+        if not 0 < breach_utilization <= 1:
+            raise ValueError(
+                f"breach utilization must be in (0, 1], got {breach_utilization}"
+            )
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive: {horizon_s}")
+        self.min_score = min_score
+        self.breach_utilization = breach_utilization
+        self.horizon_s = horizon_s
+
+    # -- the economics ---------------------------------------------------
+    def expected_penalty(
+        self,
+        sla: Optional[SLAContract],
+        utilization: float,
+        revenue: float,
+        hold_s: float,
+    ) -> float:
+        """Expected SLA credit exposure for hosting this request now.
+
+        Breach probability per contract window rises linearly from 0 at
+        ``breach_utilization`` to 1 at full saturation; the resulting
+        expected violation count is priced — and capped — by the very
+        function that settles real violations.
+        """
+        if sla is None:
+            return 0.0
+        threshold = self.breach_utilization
+        p_breach = max(0.0, (utilization - threshold) / (1.0 - threshold)) \
+            if threshold < 1 else 0.0
+        windows = max(1.0, hold_s / sla.window_s)
+        return credit_for_violations(sla.penalties, p_breach * windows, revenue)
+
+    def decide(
+        self,
+        bid_per_m_hour: float,
+        remaining_budget: float,
+        n_units: int,
+        hold_s: float,
+        spot_rate: float,
+        utilization: float,
+        sla: Optional[SLAContract] = None,
+        capacity_available: bool = True,
+    ) -> AdmissionDecision:
+        m_hours = n_units * hold_s / 3600.0
+        if bid_per_m_hour < spot_rate:
+            return self._count(AdmissionDecision(
+                REJECTED, reason=(
+                    f"priced out: bid {bid_per_m_hour:.4f} < spot {spot_rate:.4f}"
+                ),
+            ))
+        worst_case = bid_per_m_hour * m_hours
+        if worst_case > remaining_budget + 1e-9:
+            return self._count(AdmissionDecision(
+                REJECTED, reason=(
+                    f"over budget: worst-case cost {worst_case:.4f} > "
+                    f"remaining {remaining_budget:.4f}"
+                ),
+            ))
+        revenue = spot_rate * m_hours
+        penalty = self.expected_penalty(sla, utilization, revenue, hold_s)
+        if revenue - penalty < self.min_score:
+            return self._count(AdmissionDecision(
+                REJECTED, revenue, penalty,
+                reason=f"unprofitable: score {revenue - penalty:.4f}",
+            ))
+        if not capacity_available:
+            return self._count(AdmissionDecision(
+                QUEUED, revenue, penalty, reason="no capacity; queued",
+            ))
+        return self._count(AdmissionDecision(ADMITTED, revenue, penalty))
+
+    @staticmethod
+    def queue_key(bid_per_m_hour: float, arrival_s: float, index: int) -> tuple:
+        """Drain order: highest bid first, FIFO within a bid."""
+        return (-bid_per_m_hour, arrival_s, index)
+
+
+class FCFSAdmission(_CountingPolicy):
+    """The baseline: capacity-only, first come first served."""
+
+    def __init__(self, flat_rate: float = 1.0):
+        super().__init__()
+        if flat_rate < 0:
+            raise ValueError(f"rate cannot be negative: {flat_rate}")
+        self.flat_rate = flat_rate
+
+    def decide(
+        self,
+        bid_per_m_hour: float,
+        remaining_budget: float,
+        n_units: int,
+        hold_s: float,
+        spot_rate: float,
+        utilization: float,
+        sla: Optional[SLAContract] = None,
+        capacity_available: bool = True,
+    ) -> AdmissionDecision:
+        m_hours = n_units * hold_s / 3600.0
+        revenue = self.flat_rate * m_hours
+        worst_case = self.flat_rate * m_hours
+        if worst_case > remaining_budget + 1e-9:
+            return self._count(AdmissionDecision(
+                REJECTED, reason=(
+                    f"over budget: cost {worst_case:.4f} > "
+                    f"remaining {remaining_budget:.4f}"
+                ),
+            ))
+        if not capacity_available:
+            return self._count(AdmissionDecision(
+                QUEUED, revenue, reason="no capacity; queued",
+            ))
+        return self._count(AdmissionDecision(ADMITTED, revenue))
+
+    @staticmethod
+    def queue_key(bid_per_m_hour: float, arrival_s: float, index: int) -> tuple:
+        """Drain order: strict FIFO."""
+        return (arrival_s, index)
+
+
+class MarketAdmissionHook:
+    """Plugs market economics into the SODA Agent's admission hook.
+
+    Installed as ``SODAAgent(admission=hook)``, it vets every
+    ``SODA_service_creation`` call *before* the Master runs capacity
+    admission: the calling ASP must be a registered tenant whose bid
+    clears the current spot rate and whose remaining budget (budget
+    minus the ledger's live invoice) covers the worst case over the
+    policy horizon.  Queued is meaningless for a synchronous API call,
+    so a queue verdict surfaces as a rejection too.
+    """
+
+    def __init__(
+        self,
+        tenants: "TenantRegistry",
+        pricer: "SpotPricer",
+        policy: Optional[EconomicAdmission] = None,
+    ):
+        self.tenants = tenants
+        self.pricer = pricer
+        self.policy = policy or EconomicAdmission()
+        self.decisions: list = []
+
+    def review(
+        self,
+        asp: str,
+        requirement: "ResourceRequirement",
+        sla: Optional[SLAContract],
+        master: "SODAMaster",
+        now: float,
+        ledger=None,
+    ) -> AdmissionDecision:
+        if asp not in self.tenants:
+            raise AdmissionError(f"ASP {asp!r} is not a registered tenant")
+        tenant = self.tenants.get(asp)
+        spent = ledger.invoice(asp, now) if ledger is not None else tenant.spent
+        decision = self.policy.decide(
+            bid_per_m_hour=tenant.bid_per_m_hour,
+            remaining_budget=tenant.budget - spent,
+            n_units=requirement.n,
+            hold_s=self.policy.horizon_s,
+            spot_rate=self.pricer.rate,
+            utilization=master.utilization(),
+            sla=sla,
+        )
+        self.decisions.append((now, asp, decision))
+        if decision.outcome != ADMITTED:
+            tenant.rejected += 1
+            raise AdmissionError(
+                f"market admission refused {asp!r}: {decision.reason}"
+            )
+        tenant.admitted += 1
+        return decision

@@ -1,0 +1,132 @@
+"""Fairness accounting: per-tenant isolation metrics.
+
+A market can maximise revenue while starving whole classes of tenants;
+the :class:`FairnessAccountant` makes that visible.  It tracks, per
+tenant, the machine-hours requested / admitted / actually served
+(goodput) and the money spent, and reduces them to three headline
+metrics:
+
+* **Jain's fairness index** over per-tenant goodput — 1.0 when every
+  tenant got the same, 1/n when one tenant got everything;
+* **spend-vs-allocation skew** — the largest gap between any tenant's
+  share of total spend and its share of total goodput (0 when every
+  currency unit bought the same amount of capacity for everyone);
+* **starvation counters** — tenants that asked and never got anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["jains_index", "TenantUsage", "FairnessAccountant"]
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 for a perfectly even allocation, ``1/n`` for a fully captured
+    one.  Empty or all-zero inputs mean "nothing was allocated", which
+    is vacuously fair: 1.0.
+    """
+    xs = [float(v) for v in values]
+    if any(x < 0 for x in xs):
+        raise ValueError("fairness is defined over non-negative allocations")
+    total = sum(xs)
+    if not xs or total == 0.0:
+        return 1.0
+    return total * total / (len(xs) * sum(x * x for x in xs))
+
+
+@dataclass
+class TenantUsage:
+    """Everything the accountant knows about one tenant."""
+
+    requested_m_hours: float = 0.0
+    admitted_m_hours: float = 0.0
+    served_m_hours: float = 0.0
+    spend: float = 0.0
+    requests: int = 0
+    admissions: int = 0
+    rejections: int = 0
+    preemptions: int = 0
+
+    @property
+    def starved(self) -> bool:
+        return self.requests > 0 and self.served_m_hours == 0.0
+
+
+@dataclass
+class FairnessAccountant:
+    """Accumulates per-tenant usage and reduces it to isolation metrics."""
+
+    usage: Dict[str, TenantUsage] = field(default_factory=dict)
+
+    def _of(self, tenant: str) -> TenantUsage:
+        if tenant not in self.usage:
+            self.usage[tenant] = TenantUsage()
+        return self.usage[tenant]
+
+    # -- recording -------------------------------------------------------
+    def record_request(self, tenant: str, m_hours: float) -> None:
+        entry = self._of(tenant)
+        entry.requests += 1
+        entry.requested_m_hours += m_hours
+
+    def record_admission(self, tenant: str, m_hours: float) -> None:
+        entry = self._of(tenant)
+        entry.admissions += 1
+        entry.admitted_m_hours += m_hours
+
+    def record_rejection(self, tenant: str) -> None:
+        self._of(tenant).rejections += 1
+
+    def record_served(self, tenant: str, m_hours: float) -> None:
+        """Goodput: machine-hours the tenant actually held."""
+        self._of(tenant).served_m_hours += m_hours
+
+    def record_spend(self, tenant: str, amount: float) -> None:
+        self._of(tenant).spend += amount
+
+    def record_preemption(self, tenant: str) -> None:
+        self._of(tenant).preemptions += 1
+
+    # -- the metrics -----------------------------------------------------
+    def jain_goodput(self) -> float:
+        """Jain's index over per-tenant served machine-hours.
+
+        Only tenants that asked for capacity count: a registered but
+        idle tenant neither improves nor hurts fairness.
+        """
+        return jains_index([
+            u.served_m_hours for u in self.usage.values() if u.requests > 0
+        ])
+
+    def spend_allocation_skew(self) -> float:
+        """``max_i |spend_share_i - goodput_share_i|`` over tenants.
+
+        0 means spending bought everyone capacity at one price; large
+        values mean some tenants paid disproportionately for what they
+        received.
+        """
+        total_spend = sum(u.spend for u in self.usage.values())
+        total_served = sum(u.served_m_hours for u in self.usage.values())
+        if total_spend == 0.0 or total_served == 0.0:
+            return 0.0
+        return max(
+            abs(u.spend / total_spend - u.served_m_hours / total_served)
+            for u in self.usage.values()
+        )
+
+    def starved(self) -> List[str]:
+        """Tenants that requested capacity and never held any."""
+        return sorted(
+            name for name, u in self.usage.items() if u.starved
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "jain_goodput": self.jain_goodput(),
+            "spend_allocation_skew": self.spend_allocation_skew(),
+            "starved_tenants": float(len(self.starved())),
+        }

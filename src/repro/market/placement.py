@@ -1,0 +1,43 @@
+"""Price-aware federation placement (extension of paper §3.5).
+
+A federated HUP (:class:`repro.core.federation.FederatedHUP`) tries
+member HUPs in the order given by its selection strategy.  When each
+member runs a :class:`~repro.market.pricing.SpotPricer`, routing
+tenants to the member currently charging the lowest spot rate both
+saves the tenant money and load-balances the federation: cheap members
+are the under-utilized ones, and sending them work pushes their price
+back up toward the federation average.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.market.pricing import SpotPricer
+
+if TYPE_CHECKING:
+    from repro.core.agent import SODAAgent
+    from repro.core.requirements import ResourceRequirement
+
+__all__ = ["cheapest_spot_price"]
+
+
+def cheapest_spot_price(pricers: Dict[str, SpotPricer]):
+    """A selection strategy ordering members by ascending spot rate.
+
+    ``pricers`` maps member HUP names to their pricers.  Members without
+    a pricer are tried last (in registration order), so a partially
+    priced federation still reaches every member.  Ties break on
+    registration order, keeping the strategy deterministic.
+    """
+
+    def strategy(
+        requirement: "ResourceRequirement", members: Dict[str, "SODAAgent"]
+    ) -> List[str]:
+        order = list(members)
+        priced = [name for name in order if name in pricers]
+        unpriced = [name for name in order if name not in pricers]
+        priced.sort(key=lambda name: (pricers[name].rate, order.index(name)))
+        return priced + unpriced
+
+    return strategy

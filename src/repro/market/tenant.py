@@ -1,0 +1,174 @@
+"""Tenants: budgeted, bidding principals layered over ASP accounts.
+
+The utility-computing literature frames a hosting platform as a market:
+ASPs do not merely *request* capacity, they *bid* for it out of a
+finite budget.  A :class:`Tenant` wraps one ASP account with the three
+market attributes — a budget (total spend ceiling), a bid (the most it
+will pay per machine-instance-hour), and a priority class (reusing the
+SLA tiers, which decide penalty schedules and shed order) — plus spend
+tracking with a two-phase commit/settle discipline so the invariant
+``spent + committed <= budget`` holds at every instant.
+
+The two-phase discipline is what makes the budget bound *provable*
+rather than best-effort: admission commits the worst case (bid ×
+requested machine-hours) up front, and settlement charges the actual
+(spot-priced, possibly preempted-early) cost, which can only be lower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.auth import ASPRegistry
+from repro.core.errors import SODAError
+from repro.sla.contract import ServiceClass
+
+__all__ = ["BudgetExceededError", "Tenant", "TenantRegistry"]
+
+
+class BudgetExceededError(SODAError):
+    """A charge or commitment would push a tenant past its budget."""
+
+
+@dataclass
+class Tenant:
+    """One budgeted principal on the platform (1:1 with an ASP account)."""
+
+    name: str
+    budget: float
+    bid_per_m_hour: float
+    priority: ServiceClass = ServiceClass.SILVER
+    spent: float = 0.0
+    committed: float = 0.0
+    admitted: int = 0
+    rejected: int = 0
+    queued: int = 0
+    preempted: int = 0
+    credits: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError(f"budget cannot be negative: {self.budget}")
+        if self.bid_per_m_hour < 0:
+            raise ValueError(f"bid cannot be negative: {self.bid_per_m_hour}")
+        if not isinstance(self.priority, ServiceClass):
+            raise ValueError(f"not a service class: {self.priority!r}")
+
+    @property
+    def remaining_budget(self) -> float:
+        """Budget not yet spent nor committed to in-flight holdings."""
+        return self.budget - self.spent - self.committed
+
+
+class TenantRegistry:
+    """The market-side account book: tenants, budgets, spend.
+
+    Layered over an :class:`~repro.core.auth.ASPRegistry` when one is
+    given: registering a tenant also registers the matching ASP account
+    so the tenant can call the SODA API with ordinary credentials.
+    """
+
+    def __init__(self, asp_registry: Optional[ASPRegistry] = None):
+        self.asp_registry = asp_registry
+        self._tenants: Dict[str, Tenant] = {}
+
+    def register(
+        self,
+        name: str,
+        budget: float,
+        bid_per_m_hour: float,
+        priority: ServiceClass = ServiceClass.SILVER,
+        secret: Optional[str] = None,
+        contact: str = "",
+    ) -> Tenant:
+        if name in self._tenants:
+            raise ValueError(f"tenant {name!r} already registered")
+        tenant = Tenant(
+            name=name, budget=budget, bid_per_m_hour=bid_per_m_hour,
+            priority=priority,
+        )
+        if self.asp_registry is not None:
+            self.asp_registry.register(name, secret or f"{name}-secret", contact)
+        self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise KeyError(f"tenant {name!r} not registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def __iter__(self):
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._tenants)
+
+    # -- two-phase spend -------------------------------------------------
+    def commit(self, name: str, amount: float) -> None:
+        """Reserve ``amount`` of budget for an in-flight holding.
+
+        Raises :class:`BudgetExceededError` (and reserves nothing) when
+        the tenant's remaining budget cannot cover it.
+        """
+        if amount < 0:
+            raise ValueError(f"cannot commit a negative amount: {amount}")
+        tenant = self.get(name)
+        if amount > tenant.remaining_budget + 1e-9:
+            raise BudgetExceededError(
+                f"tenant {name!r} cannot commit {amount:.4f}: "
+                f"remaining budget {tenant.remaining_budget:.4f}"
+            )
+        tenant.committed += amount
+
+    def settle(self, name: str, committed: float, actual: float) -> None:
+        """Convert a commitment into actual spend.
+
+        ``actual`` must not exceed ``committed`` (the commitment was the
+        worst case); the unspent difference returns to the budget.
+        """
+        tenant = self.get(name)
+        if actual < 0:
+            raise ValueError(f"cannot settle a negative charge: {actual}")
+        if actual > committed + 1e-9:
+            raise BudgetExceededError(
+                f"tenant {name!r} settlement {actual:.4f} exceeds its "
+                f"commitment {committed:.4f}"
+            )
+        if committed > tenant.committed + 1e-9:
+            raise ValueError(
+                f"tenant {name!r} has only {tenant.committed:.4f} committed, "
+                f"cannot release {committed:.4f}"
+            )
+        tenant.committed -= committed
+        tenant.spent += actual
+
+    def release(self, name: str, committed: float) -> None:
+        """Return an unused commitment in full (rejected after commit)."""
+        self.settle(name, committed, 0.0)
+
+    def credit(self, name: str, amount: float) -> None:
+        """Record SLA credits earned (informational; invoices net them)."""
+        if amount < 0:
+            raise ValueError(f"credit cannot be negative: {amount}")
+        self.get(name).credits += amount
+
+    # -- queries ---------------------------------------------------------
+    def total_spent(self) -> float:
+        return sum(t.spent for t in self._tenants.values())
+
+    def over_budget(self) -> List[str]:
+        """Names of tenants whose spend exceeds budget (always empty if
+        every charge went through commit/settle)."""
+        return [
+            t.name for t in self._tenants.values()
+            if t.spent > t.budget + 1e-9
+        ]

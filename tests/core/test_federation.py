@@ -100,3 +100,83 @@ def test_duplicate_name_across_federation_rejected():
     tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
     with pytest.raises(AdmissionError, match="already placed"):
         tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+
+
+# -- pluggable member selection (market extension) -------------------------
+
+
+def reverse_order(requirement, members):
+    return list(reversed(list(members)))
+
+
+def test_custom_selection_reorders_members():
+    tb, federation, repo = build_federation()
+    federation.selection = reverse_order
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    assert federation.locate("web") == "east"
+
+
+def test_selection_returning_non_member_rejected():
+    tb, federation, repo = build_federation()
+    federation.selection = lambda requirement, members: ["mars"]
+    with pytest.raises(ValueError, match="non-member"):
+        tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+
+
+def test_cheapest_spot_price_routes_to_cheap_member():
+    from repro.market import PricingParams, SpotPricer, cheapest_spot_price
+
+    tb, federation, repo = build_federation()
+    west_pricer = SpotPricer(PricingParams())
+    east_pricer = SpotPricer(PricingParams())
+    west_pricer.tick(0.0, 1.0)   # busy west: price rises
+    east_pricer.tick(0.0, 0.0)   # idle east: price falls
+    federation.selection = cheapest_spot_price(
+        {"west": west_pricer, "east": east_pricer}
+    )
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    assert federation.locate("web") == "east"
+
+
+def test_cheapest_spot_price_falls_back_to_unpriced_members():
+    from repro.market import SpotPricer, cheapest_spot_price
+
+    tb, federation, repo = build_federation()
+    # Only west is priced; east must still be reachable, after west.
+    federation.selection = cheapest_spot_price({"west": SpotPricer()})
+    tb.run(federation.service_creation(CREDS, "big", repo, "web-content", req(3)))
+    assert federation.locate("big") == "west"
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    assert federation.locate("web") == "east"
+
+
+def test_placement_memory_survives_custom_selection():
+    """Teardown and resize must reach the HUP that actually hosts the
+    service, whatever order the strategy tried members in."""
+    from repro.market import PricingParams, SpotPricer, cheapest_spot_price
+
+    tb, federation, repo = build_federation()
+    west_pricer = SpotPricer(PricingParams())
+    east_pricer = SpotPricer(PricingParams())
+    west_pricer.tick(0.0, 0.0)   # idle west: cheapest, wins placement
+    east_pricer.tick(0.0, 1.0)
+    federation.selection = cheapest_spot_price(
+        {"west": west_pricer, "east": east_pricer}
+    )
+    tb.run(federation.service_creation(CREDS, "web", repo, "web-content", req(1)))
+    assert federation.locate("web") == "west"
+    # Now invert the price order: routing of *existing* services must
+    # still follow placement memory, not the current cheapest member.
+    west_pricer.tick(1.0, 1.0)
+    west_pricer.tick(2.0, 1.0)
+    east_pricer.tick(1.0, 0.0)
+    east_pricer.tick(2.0, 0.0)
+    assert east_pricer.rate < west_pricer.rate
+    record = tb.run(federation.service_resizing(CREDS, "web", repo, 2))
+    assert record.total_units == 2
+    # The west master owns it; east never heard of it.
+    assert federation.members["west"].master.get_service("web") is not None
+    with pytest.raises(ServiceNotFoundError):
+        federation.members["east"].master.get_service("web")
+    tb.run(federation.service_teardown(CREDS, "web"))
+    assert federation.total_services() == 0

@@ -11,7 +11,7 @@ ALL_IDS = [
     "fig3", "fig4", "fig5", "fig6",
     "download",
     "ablation-bridge-proxy", "ablation-ddos", "ablation-faults",
-    "ablation-inflation",
+    "ablation-inflation", "ablation-market",
     "ablation-policies", "ablation-placement",
     "ablation-scheduler-shares", "ablation-tailoring",
 ]

@@ -1,0 +1,117 @@
+"""Economic admission: scoring, outcomes, and the Agent-side hook."""
+
+import pytest
+
+from repro.market.admission import (
+    ADMITTED,
+    QUEUED,
+    REJECTED,
+    EconomicAdmission,
+    FCFSAdmission,
+)
+from repro.sla.contract import SLAContract
+
+
+def decide(policy, **overrides):
+    kwargs = dict(
+        bid_per_m_hour=2.0, remaining_budget=100.0, n_units=2,
+        hold_s=3600.0, spot_rate=1.0, utilization=0.5,
+    )
+    kwargs.update(overrides)
+    return policy.decide(**kwargs)
+
+
+def test_admits_profitable_request():
+    d = decide(EconomicAdmission())
+    assert d.outcome == ADMITTED
+    assert d.expected_revenue == pytest.approx(2.0)  # spot 1.0 * 2 m-hours
+    assert d.expected_penalty == pytest.approx(0.0)
+    assert d.score == pytest.approx(2.0)
+
+
+def test_rejects_priced_out_bid():
+    d = decide(EconomicAdmission(), bid_per_m_hour=0.8, spot_rate=1.0)
+    assert d.outcome == REJECTED
+    assert "priced out" in d.reason
+
+
+def test_rejects_over_budget():
+    # Worst case bid*m_hours = 2.0*2 = 4.0 > remaining 3.0.
+    d = decide(EconomicAdmission(), remaining_budget=3.0)
+    assert d.outcome == REJECTED
+    assert "over budget" in d.reason
+
+
+def test_queues_when_no_capacity():
+    d = decide(EconomicAdmission(), capacity_available=False)
+    assert d.outcome == QUEUED
+
+
+def test_penalty_exposure_can_reject():
+    # At 100% utilization every SLA window is expected to breach; the
+    # penalty caps at cap_fraction * revenue (an SLA refunds a bill, it
+    # never inverts it), so a platform demanding more margin than the
+    # capped score can deliver refuses the work.
+    sla = SLAContract.gold()
+    policy = EconomicAdmission(min_score=1.5)
+    d = decide(policy, sla=sla, utilization=1.0)
+    # Revenue 2.0, penalty capped at 0.5 * 2.0 -> score 1.0 < 1.5.
+    assert d.expected_penalty == pytest.approx(
+        sla.penalties.cap_fraction * d.expected_revenue
+    )
+    assert d.outcome == REJECTED
+    assert "unprofitable" in d.reason
+    # The identical request with no SLA attached clears the same bar.
+    assert decide(policy, utilization=1.0).outcome == ADMITTED
+
+
+def test_penalty_zero_below_breach_threshold():
+    policy = EconomicAdmission(breach_utilization=0.9)
+    sla = SLAContract.gold()
+    assert policy.expected_penalty(sla, 0.5, revenue=10.0, hold_s=3600.0) == 0.0
+    assert policy.expected_penalty(None, 1.0, revenue=10.0, hold_s=3600.0) == 0.0
+
+
+def test_penalty_grows_with_utilization():
+    policy = EconomicAdmission()
+    sla = SLAContract.silver()
+    low = policy.expected_penalty(sla, 0.92, revenue=10.0, hold_s=3600.0)
+    high = policy.expected_penalty(sla, 0.99, revenue=10.0, hold_s=3600.0)
+    assert 0.0 < low <= high
+
+
+def test_decision_counters():
+    policy = EconomicAdmission()
+    decide(policy)
+    decide(policy, bid_per_m_hour=0.1)
+    decide(policy, capacity_available=False)
+    assert (policy.admitted, policy.rejected, policy.queued) == (1, 1, 1)
+    assert policy.decided == 3
+
+
+def test_queue_keys_order_by_bid_then_fifo():
+    keys = sorted([
+        EconomicAdmission.queue_key(1.0, 10.0, 0),
+        EconomicAdmission.queue_key(3.0, 20.0, 1),
+        EconomicAdmission.queue_key(3.0, 15.0, 2),
+    ])
+    # Highest bid first; FIFO within the same bid.
+    assert [k[0] for k in keys] == [-3.0, -3.0, -1.0]
+    assert keys[0][1] == 15.0
+
+
+def test_fcfs_queue_key_is_fifo():
+    keys = sorted([
+        FCFSAdmission.queue_key(9.0, 20.0, 1),
+        FCFSAdmission.queue_key(1.0, 10.0, 0),
+    ])
+    assert keys[0] == (10.0, 0)
+
+
+def test_fcfs_ignores_price_but_respects_budget():
+    policy = FCFSAdmission(flat_rate=1.0)
+    # A bid below spot is fine under FCFS...
+    assert decide(policy, bid_per_m_hour=0.1).outcome == ADMITTED
+    # ...but the flat-rate cost must still fit the budget.
+    d = decide(policy, remaining_budget=0.5)
+    assert d.outcome == REJECTED

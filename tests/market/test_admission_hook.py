@@ -1,0 +1,95 @@
+"""The market hook on the real SODA Agent control plane."""
+
+import pytest
+
+from repro.core import MachineConfig, ResourceRequirement
+from repro.core.api import HUPTestbed
+from repro.core.auth import Credentials
+from repro.core.errors import AdmissionError
+from repro.host.machine import make_seattle
+from repro.image.profiles import make_s1_web_content
+from repro.market import (
+    EconomicAdmission,
+    MarketAdmissionHook,
+    SpotPricer,
+    TenantRegistry,
+)
+
+
+def build_hup_with_market():
+    tb = HUPTestbed(seed=9)
+    tb.add_host(make_seattle(tb.sim))
+    tb.finalize()
+    repo = tb.add_repository()
+    repo.publish(make_s1_web_content())
+    tenants = TenantRegistry(tb.agent.registry)
+    pricer = SpotPricer()
+    hook = MarketAdmissionHook(tenants, pricer, EconomicAdmission())
+    tb.agent.admission = hook
+    return tb, repo, tenants, pricer, hook
+
+
+def req(n=1):
+    return ResourceRequirement(n=n, machine=MachineConfig())
+
+
+def test_rich_tenant_clears_the_market_gate():
+    tb, repo, tenants, _pricer, hook = build_hup_with_market()
+    tenants.register("acme", budget=100.0, bid_per_m_hour=2.0)
+    reply = tb.run(tb.agent.service_creation(
+        Credentials("acme", "acme-secret"), "web", repo, "web-content", req()
+    ))
+    assert reply.service_name == "web"
+    assert len(hook.decisions) == 1
+    assert tenants.get("acme").admitted == 1
+    # Billing runs for the admitted service.
+    assert tb.agent.ledger.n_open == 1
+
+
+def test_non_tenant_asp_is_refused():
+    tb, repo, _tenants, _pricer, _hook = build_hup_with_market()
+    tb.agent.register_asp("stranger", "password1")
+    with pytest.raises(AdmissionError, match="not a registered tenant"):
+        tb.run(tb.agent.service_creation(
+            Credentials("stranger", "password1"), "web", repo,
+            "web-content", req(),
+        ))
+
+
+def test_priced_out_tenant_is_refused():
+    tb, repo, tenants, pricer, _hook = build_hup_with_market()
+    tenants.register("cheap", budget=100.0, bid_per_m_hour=1.5)
+    # Drive the spot rate above the tenant's bid.
+    while pricer.rate <= 1.5:
+        pricer.tick(tb.sim.now, 1.0)
+    with pytest.raises(AdmissionError, match="priced out"):
+        tb.run(tb.agent.service_creation(
+            Credentials("cheap", "cheap-secret"), "web", repo,
+            "web-content", req(),
+        ))
+    assert tenants.get("cheap").rejected == 1
+
+
+def test_over_budget_tenant_is_refused():
+    tb, repo, tenants, _pricer, _hook = build_hup_with_market()
+    # Worst case over the 1h horizon is bid * n = 2.0 > budget.
+    tenants.register("broke", budget=1.0, bid_per_m_hour=2.0)
+    with pytest.raises(AdmissionError, match="over budget"):
+        tb.run(tb.agent.service_creation(
+            Credentials("broke", "broke-secret"), "web", repo,
+            "web-content", req(),
+        ))
+
+
+def test_no_hook_means_vanilla_admission():
+    tb = HUPTestbed(seed=9)
+    tb.add_host(make_seattle(tb.sim))
+    tb.finalize()
+    repo = tb.add_repository()
+    repo.publish(make_s1_web_content())
+    assert tb.agent.admission is None
+    tb.agent.register_asp("acme", "password1")
+    reply = tb.run(tb.agent.service_creation(
+        Credentials("acme", "password1"), "web", repo, "web-content", req()
+    ))
+    assert reply.service_name == "web"

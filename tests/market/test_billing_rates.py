@@ -1,0 +1,98 @@
+"""Spot-rate billing: segments split at rate changes, never back-billed."""
+
+import pytest
+
+from repro.core.billing import BillingLedger, Invoice
+
+
+def test_rate_change_splits_open_segment_mid_span():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started(service="s", asp="acme", now=0.0, m_units=2)
+    ledger.set_rate(3.0, now=1800.0)  # half an hour in
+    ledger.service_stopped(service="s", now=3600.0)
+    # First half-hour at 1.0, second at 3.0: 2 units * (0.5 + 1.5).
+    assert ledger.gross("acme", 3600.0) == pytest.approx(4.0)
+    segments = ledger.segments
+    assert len(segments) == 2
+    assert [s.rate_per_m_hour for s in segments] == [1.0, 3.0]
+    assert segments[0].end == segments[1].start == 1800.0
+
+
+def test_rate_change_never_back_bills_closed_usage():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started(service="s", asp="acme", now=0.0, m_units=1)
+    ledger.service_stopped(service="s", now=3600.0)
+    before = ledger.gross("acme", 3600.0)
+    ledger.set_rate(10.0, now=3600.0)
+    assert ledger.gross("acme", 3600.0) == pytest.approx(before)
+
+
+def test_reprice_at_exact_segment_boundary_no_zero_segment():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started(service="s", asp="acme", now=100.0, m_units=1)
+    # Rate change at the very instant the segment opened: no split, the
+    # whole span simply accrues at the new rate.
+    ledger.set_rate(2.0, now=100.0)
+    ledger.service_stopped(service="s", now=100.0 + 3600.0)
+    segments = ledger.segments
+    assert len(segments) == 1
+    assert segments[0].rate_per_m_hour == 2.0
+    assert ledger.gross("acme", 100.0 + 3600.0) == pytest.approx(2.0)
+
+
+def test_zero_duration_segment_costs_nothing():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started(service="s", asp="acme", now=50.0, m_units=4)
+    ledger.service_stopped(service="s", now=50.0)
+    assert ledger.gross("acme", 50.0) == 0.0
+    assert ledger.machine_hours("s", 50.0) == 0.0
+
+
+def test_consecutive_repricings_stack_splits():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started(service="s", asp="acme", now=0.0, m_units=1)
+    ledger.set_rate(2.0, now=900.0)
+    ledger.set_rate(4.0, now=1800.0)
+    ledger.service_stopped(service="s", now=2700.0)
+    # 0.25h each at 1, 2, 4.
+    assert ledger.gross("acme", 2700.0) == pytest.approx(0.25 * (1 + 2 + 4))
+    assert ledger.rate_history == [(900.0, 2.0), (1800.0, 4.0)]
+
+
+def test_same_rate_is_a_no_op():
+    ledger = BillingLedger(rate_per_m_hour=1.5)
+    ledger.service_started(service="s", asp="acme", now=0.0, m_units=1)
+    ledger.set_rate(1.5, now=100.0)
+    assert ledger.rate_history == []
+    assert ledger.n_open == 1
+
+
+def test_set_rate_validation():
+    ledger = BillingLedger()
+    with pytest.raises(ValueError):
+        ledger.set_rate(-1.0, now=0.0)
+    ledger.service_started(service="s", asp="acme", now=100.0, m_units=1)
+    with pytest.raises(ValueError):
+        ledger.set_rate(2.0, now=50.0)  # before the open segment began
+
+
+def test_open_segment_accrues_at_current_rate():
+    ledger = BillingLedger(rate_per_m_hour=1.0)
+    ledger.service_started(service="s", asp="acme", now=0.0, m_units=1)
+    ledger.set_rate(5.0, now=3600.0)
+    # One hour closed at 1.0, one open hour at 5.0.
+    assert ledger.gross("acme", 7200.0) == pytest.approx(6.0)
+
+
+def test_invoice_detail_nets_credits():
+    ledger = BillingLedger(rate_per_m_hour=2.0)
+    ledger.service_started(service="s", asp="acme", now=0.0, m_units=1)
+    ledger.service_stopped(service="s", now=3600.0)
+    ledger.add_credit(service="s", asp="acme", amount=0.5, reason="sla",
+                      now=3600.0)
+    detail = ledger.invoice_detail("acme", 3600.0)
+    assert isinstance(detail, Invoice)
+    assert detail.gross == pytest.approx(2.0)
+    assert detail.credits == pytest.approx(0.5)
+    assert detail.amount_due == pytest.approx(1.5)
+    assert ledger.invoice("acme", 3600.0) == pytest.approx(1.5)

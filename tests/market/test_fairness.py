@@ -1,0 +1,69 @@
+"""Fairness accounting: Jain's index, spend skew, starvation."""
+
+import pytest
+
+from repro.market import FairnessAccountant, jains_index
+
+
+def test_jains_index_equal_allocation_is_one():
+    assert jains_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+
+def test_jains_index_single_winner_is_one_over_n():
+    assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+def test_jains_index_edge_cases():
+    assert jains_index([]) == 1.0
+    assert jains_index([0.0, 0.0]) == 1.0
+    with pytest.raises(ValueError):
+        jains_index([1.0, -1.0])
+
+
+def test_jain_goodput_ignores_tenants_without_requests():
+    acc = FairnessAccountant()
+    acc.record_request("a", 1.0)
+    acc.record_served("a", 1.0)
+    acc.record_request("b", 1.0)
+    acc.record_served("b", 1.0)
+    # "c" never asked for anything; it must not drag the index down.
+    acc.record_spend("c", 0.0)
+    assert acc.jain_goodput() == pytest.approx(1.0)
+
+
+def test_starved_tenants_listed_sorted():
+    acc = FairnessAccountant()
+    for name in ("zeta", "alpha"):
+        acc.record_request(name, 1.0)
+        acc.record_rejection(name)
+    acc.record_request("served", 1.0)
+    acc.record_served("served", 1.0)
+    assert acc.starved() == ["alpha", "zeta"]
+
+
+def test_spend_allocation_skew():
+    acc = FairnessAccountant()
+    # a: half the service, all the spend -> skew 0.5.
+    acc.record_request("a", 1.0)
+    acc.record_served("a", 1.0)
+    acc.record_spend("a", 10.0)
+    acc.record_request("b", 1.0)
+    acc.record_served("b", 1.0)
+    acc.record_spend("b", 0.0)
+    assert acc.spend_allocation_skew() == pytest.approx(0.5)
+
+
+def test_spend_allocation_skew_zero_when_nothing_served():
+    assert FairnessAccountant().spend_allocation_skew() == 0.0
+
+
+def test_snapshot_shape():
+    acc = FairnessAccountant()
+    acc.record_request("a", 2.0)
+    acc.record_served("a", 2.0)
+    acc.record_spend("a", 1.0)
+    acc.record_preemption("a")
+    snap = acc.snapshot()
+    assert snap["jain_goodput"] == pytest.approx(1.0)
+    assert snap["starved_tenants"] == 0.0
+    assert snap["spend_allocation_skew"] == pytest.approx(0.0)

@@ -1,0 +1,108 @@
+"""Tenant registry: budgets, two-phase commit/settle, ASP layering."""
+
+import pytest
+
+from repro.core.auth import ASPRegistry, Credentials
+from repro.market import BudgetExceededError, TenantRegistry
+from repro.sla.contract import ServiceClass
+
+
+def test_register_and_lookup():
+    reg = TenantRegistry()
+    t = reg.register("acme", budget=10.0, bid_per_m_hour=2.0,
+                     priority=ServiceClass.GOLD)
+    assert "acme" in reg
+    assert reg.get("acme") is t
+    assert t.priority is ServiceClass.GOLD
+    assert t.remaining_budget == pytest.approx(10.0)
+    assert len(reg) == 1
+    assert reg.names == ["acme"]
+
+
+def test_duplicate_registration_rejected():
+    reg = TenantRegistry()
+    reg.register("acme", budget=1.0, bid_per_m_hour=1.0)
+    with pytest.raises(ValueError, match="already registered"):
+        reg.register("acme", budget=1.0, bid_per_m_hour=1.0)
+
+
+def test_unknown_tenant_raises():
+    with pytest.raises(KeyError, match="not registered"):
+        TenantRegistry().get("ghost")
+
+
+def test_layers_over_asp_registry():
+    asps = ASPRegistry()
+    reg = TenantRegistry(asps)
+    reg.register("acme", budget=5.0, bid_per_m_hour=1.0, secret="s3cret-long")
+    account = asps.authenticate(Credentials("acme", "s3cret-long"))
+    assert account.name == "acme"
+
+
+def test_commit_reserves_budget():
+    reg = TenantRegistry()
+    reg.register("acme", budget=10.0, bid_per_m_hour=1.0)
+    reg.commit("acme", 4.0)
+    t = reg.get("acme")
+    assert t.committed == pytest.approx(4.0)
+    assert t.remaining_budget == pytest.approx(6.0)
+    with pytest.raises(BudgetExceededError):
+        reg.commit("acme", 6.5)
+    # The failed commit reserved nothing.
+    assert t.committed == pytest.approx(4.0)
+
+
+def test_settle_converts_commitment_to_spend():
+    reg = TenantRegistry()
+    reg.register("acme", budget=10.0, bid_per_m_hour=1.0)
+    reg.commit("acme", 4.0)
+    reg.settle("acme", committed=4.0, actual=2.5)
+    t = reg.get("acme")
+    assert t.spent == pytest.approx(2.5)
+    assert t.committed == pytest.approx(0.0)
+    assert t.remaining_budget == pytest.approx(7.5)
+
+
+def test_settle_cannot_exceed_commitment():
+    reg = TenantRegistry()
+    reg.register("acme", budget=10.0, bid_per_m_hour=1.0)
+    reg.commit("acme", 2.0)
+    with pytest.raises(BudgetExceededError):
+        reg.settle("acme", committed=2.0, actual=3.0)
+
+
+def test_release_frees_commitment():
+    reg = TenantRegistry()
+    reg.register("acme", budget=10.0, bid_per_m_hour=1.0)
+    reg.commit("acme", 3.0)
+    reg.release("acme", 3.0)
+    assert reg.get("acme").remaining_budget == pytest.approx(10.0)
+
+
+def test_negative_commit_rejected():
+    reg = TenantRegistry()
+    reg.register("acme", budget=10.0, bid_per_m_hour=1.0)
+    with pytest.raises(ValueError, match="negative"):
+        reg.commit("acme", -1.0)
+
+
+def test_credit_and_totals():
+    reg = TenantRegistry()
+    reg.register("a", budget=10.0, bid_per_m_hour=1.0)
+    reg.register("b", budget=10.0, bid_per_m_hour=1.0)
+    reg.commit("a", 5.0)
+    reg.settle("a", 5.0, 5.0)
+    reg.commit("b", 2.0)
+    reg.settle("b", 2.0, 1.0)
+    reg.credit("a", 0.5)
+    assert reg.get("a").credits == pytest.approx(0.5)
+    assert reg.total_spent() == pytest.approx(6.0)
+    assert reg.over_budget() == []
+
+
+def test_tenant_validation():
+    reg = TenantRegistry()
+    with pytest.raises(ValueError):
+        reg.register("acme", budget=-1.0, bid_per_m_hour=1.0)
+    with pytest.raises(ValueError):
+        reg.register("acme", budget=1.0, bid_per_m_hour=-2.0)

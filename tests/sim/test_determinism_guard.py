@@ -18,6 +18,7 @@ disabled — `repro.obs` observes, never perturbs.
 
 import repro.experiments.fig4_loadbalance as fig4
 from repro.faults.chaos import run_chaos_scenario
+from repro.market import fast_params, run_market_scenario
 from repro.obs import Observability
 from tests.sla.test_e2e import run_sla_scenario
 
@@ -125,3 +126,25 @@ def test_chaos_digest_unchanged_by_full_observability():
     # perturbing a single injection or retry instant.
     assert len(hub.tracer.spans()) > 0
     assert "soda_faults_injected_total" in hub.prometheus()
+
+
+# -- the market ablation joins the determinism contract -----------------------
+
+_MARKET_PARAMS = fast_params(duration_s=120.0, n_tenants=50)
+
+
+def _market_digest(seed, policy="market"):
+    return run_market_scenario(
+        seed=seed, policy=policy, params=_MARKET_PARAMS
+    ).digest()
+
+
+def test_market_digest_bit_identical_across_runs():
+    # Same seed drives the same tenants, arrivals, repricing path,
+    # admissions, preemptions and invoices — every float identical.
+    assert _market_digest(0) == _market_digest(0)
+    assert _market_digest(0, "fcfs") == _market_digest(0, "fcfs")
+
+
+def test_market_different_seeds_actually_differ():
+    assert _market_digest(3) != _market_digest(4)
