@@ -15,10 +15,12 @@ trajectory; compare a fresh run against it with::
 """
 
 from repro.bench import (
+    bench_fleet_scale_throughput,
     bench_kernel_event_throughput,
     bench_lan_flow_churn,
     bench_scheduler_quantum_loop,
     bench_service_creation_roundtrip,
+    bench_switch_dispatch_throughput,
 )
 
 
@@ -44,3 +46,25 @@ def test_bench_service_creation_roundtrip(benchmark):
     """Full create -> teardown through Agent/Master/Daemon/UML."""
     now = benchmark(bench_service_creation_roundtrip)
     assert now > 0
+
+
+def test_bench_fleet_scale_throughput(benchmark):
+    """1M+ background requests over 1000 hosts, fluid vs discrete.
+
+    The composite is heavy (two fleet runs per round), so it runs once —
+    pytest-benchmark still records the wall clock, and the acceptance
+    ratios are asserted on the returned fields.
+    """
+    result = benchmark.pedantic(bench_fleet_scale_throughput, rounds=1, iterations=1)
+    assert result["fluid_requests"] >= 1_000_000
+    assert result["event_reduction_x"] >= 5.0
+    assert result["wall_speedup_x"] >= 5.0
+
+
+def test_bench_switch_dispatch_throughput(benchmark):
+    """Bursty arrivals through one switch, batched vs unbatched dispatch."""
+    result = benchmark.pedantic(
+        bench_switch_dispatch_throughput, rounds=1, iterations=1
+    )
+    assert result["batched_events"] < result["unbatched_events"]
+    assert result["batches_dispatched"] > 0

@@ -7,18 +7,25 @@ scheduler quantum loops, and a full service-creation round trip.  Every
 experiment pays these costs, so regressions here slow the whole repo down.
 
 ``python -m repro.bench`` runs every bench several times and appends one
-entry (min/median wall-clock per bench) to ``BENCH_simulator.json``.  The
-file accumulates a trajectory across PRs::
+entry (min/median wall-clock per bench, plus the capturing git commit) to
+``BENCH_simulator.json``.  The file accumulates a trajectory across PRs::
 
     {"schema": 1, "entries": [
-        {"label": "...", "python": "3.11.7", "results": {
+        {"label": "...", "python": "3.11.7", "commit": "abc1234", "results": {
             "kernel_event_throughput": {"min_s": ..., "median_s": ..., "rounds": 5},
             ...}},
         ...]}
 
+Re-capturing an existing label *replaces* the old entry with a loud
+warning (never silently), so a label always names exactly one capture.
+*Composite* benches (``fn.composite = True``) measure several variants
+internally and merge extra numeric fields — e.g. a discrete-vs-fluid
+speedup — into their result dict alongside ``min_s``/``median_s``.
+
 ``--compare`` prints the speedup of the newest entry against the first (or
 ``--against LABEL``); ``--check MIN`` exits non-zero unless every compared
-bench meets the given speedup factor.  Timings are machine-dependent, so
+bench meets the given speedup factor; ``--validate`` checks the history
+file against the schema and exits.  Timings are machine-dependent, so
 comparisons are only meaningful between entries produced on one machine.
 """
 
@@ -28,11 +35,12 @@ import argparse
 import json
 import platform
 import statistics
+import subprocess
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["BENCHES", "run_benches", "load_history", "main"]
+__all__ = ["BENCHES", "run_benches", "load_history", "validate_history", "main"]
 
 BENCH_FILE = "BENCH_simulator.json"
 SCHEMA_VERSION = 1
@@ -141,6 +149,128 @@ def bench_admission_decision_throughput() -> float:
     return float(policy.decided)
 
 
+def bench_fleet_scale_throughput() -> Dict[str, float]:
+    """1000 hosts, >=1M background requests, fluid vs discrete fidelity.
+
+    The composite's headline fields: how many kernel events and
+    wall-clock seconds each fidelity pays *per request*.  The discrete
+    arm runs a short slice of the same workload (running it to 1M
+    requests discretely is exactly the cost this PR removes) and the
+    normalized ratios carry the comparison.
+    """
+    from repro.sim.fluid import FluidBackgroundLoad, FluidCluster, FluidServiceSpec
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RandomStreams
+
+    specs = [
+        FluidServiceSpec(name="web", arrival_rps=20_000.0, mean_batch=100),
+        FluidServiceSpec(
+            name="api", arrival_rps=10_000.0, mean_batch=50, service_s=0.002,
+            response_mb=0.005,
+        ),
+        FluidServiceSpec(
+            name="batch", arrival_rps=5_000.0, mean_batch=200, service_s=0.008,
+        ),
+    ]
+
+    def run(fidelity: str, duration_s: float):
+        sim = Simulator()
+        streams = RandomStreams(seed=0)
+        clusters = [FluidCluster(sim, f"c{i}", n_hosts=50) for i in range(20)]
+        load = FluidBackgroundLoad(sim, streams, clusters, specs, fidelity=fidelity)
+        proc = sim.process(load.run(duration_s))
+        start = time.perf_counter()
+        report = sim.run_until_process(proc)
+        wall = time.perf_counter() - start
+        return report.total_requests, sim.events_scheduled, wall
+
+    fluid_reqs, fluid_events, fluid_wall = run("fluid", 30.0)
+    discrete_reqs, discrete_events, discrete_wall = run("discrete", 0.5)
+    assert fluid_reqs >= 1_000_000, f"fleet arm too small: {fluid_reqs} requests"
+    fluid_ev = fluid_events / fluid_reqs
+    discrete_ev = discrete_events / discrete_reqs
+    fluid_w = fluid_wall / fluid_reqs
+    discrete_w = discrete_wall / discrete_reqs
+    return {
+        "fluid_requests": fluid_reqs,
+        "fluid_kernel_events": fluid_events,
+        "fluid_wall_s": round(fluid_wall, 4),
+        "discrete_requests": discrete_reqs,
+        "discrete_kernel_events": discrete_events,
+        "discrete_wall_s": round(discrete_wall, 4),
+        "event_reduction_x": round(discrete_ev / fluid_ev, 2),
+        "wall_speedup_x": round(discrete_w / fluid_w, 2),
+    }
+
+
+bench_fleet_scale_throughput.composite = True
+
+
+def bench_switch_dispatch_throughput() -> Dict[str, float]:
+    """Bursty arrivals through one switch, batched vs unbatched dispatch.
+
+    15 waves of 40 concurrent requests against a 3-node service; the
+    batched arm coalesces each wave into shared dispatcher/classify/
+    forward work.  Event counts are deterministic, wall clocks are the
+    measured win.
+    """
+    from repro.core import MachineConfig, ResourceRequirement, build_paper_testbed
+    from repro.core.auth import Credentials
+    from repro.core.node import Request
+    from repro.guestos.syscall import SyscallMix
+    from repro.image.profiles import make_s1_web_content
+
+    def run(batched: bool):
+        testbed = build_paper_testbed(seed=0)
+        repo = testbed.add_repository()
+        repo.publish(make_s1_web_content())
+        testbed.agent.register_asp("acme", "supersecret")
+        creds = Credentials("acme", "supersecret")
+        requirement = ResourceRequirement(n=3, machine=MachineConfig())
+        testbed.run(
+            testbed.agent.service_creation(creds, "web", repo, "web-content", requirement)
+        )
+        record = testbed.master.get_service("web")
+        if batched:
+            record.switch.enable_batching(window_s=0.002, max_batch=64)
+        client = testbed.add_client("client-1")
+        mix = SyscallMix(user_mcycles=1.2, n_syscalls=33)
+
+        def waves(sim):
+            for _ in range(15):
+                procs = [
+                    sim.process(
+                        record.switch.serve(
+                            Request(client=client, response_mb=0.1, mix=mix)
+                        )
+                    )
+                    for _ in range(40)
+                ]
+                for p in procs:
+                    yield p
+
+        before = testbed.sim.events_scheduled
+        start = time.perf_counter()
+        testbed.run(waves(testbed.sim))
+        wall = time.perf_counter() - start
+        assert record.switch.dispatched == 600
+        return testbed.sim.events_scheduled - before, wall, record.switch
+
+    unbatched_events, unbatched_wall, _ = run(batched=False)
+    batched_events, batched_wall, switch = run(batched=True)
+    assert batched_events < unbatched_events
+    return {
+        "unbatched_events": unbatched_events,
+        "batched_events": batched_events,
+        "batches_dispatched": switch.batches_dispatched,
+        "event_reduction_x": round(unbatched_events / batched_events, 2),
+        "wall_speedup_x": round(unbatched_wall / batched_wall, 2),
+    }
+
+
+bench_switch_dispatch_throughput.composite = True
+
+
 #: bench name -> (callable, default rounds).
 BENCHES: Dict[str, tuple] = {
     "kernel_event_throughput": (bench_kernel_event_throughput, 5),
@@ -148,6 +278,8 @@ BENCHES: Dict[str, tuple] = {
     "scheduler_quantum_loop": (bench_scheduler_quantum_loop, 5),
     "service_creation_roundtrip": (bench_service_creation_roundtrip, 3),
     "admission_decision_throughput": (bench_admission_decision_throughput, 5),
+    "fleet_scale_throughput": (bench_fleet_scale_throughput, 2),
+    "switch_dispatch_throughput": (bench_switch_dispatch_throughput, 3),
 }
 
 
@@ -155,18 +287,49 @@ BENCHES: Dict[str, tuple] = {
 # Harness.
 # ---------------------------------------------------------------------------
 
+def _git_commit() -> Optional[str]:
+    """Short hash of HEAD (with ``+dirty`` when the tree has changes)."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if commit.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10,
+        )
+        dirty = "+dirty" if status.returncode == 0 and status.stdout.strip() else ""
+        return commit.stdout.strip() + dirty
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+
+
 def _time_one(fn: Callable[[], object], rounds: int) -> Dict[str, object]:
-    fn()  # warm-up round: imports, allocator pools, code caches
+    value = fn()  # warm-up round: imports, allocator pools, code caches
     times: List[float] = []
     for _ in range(rounds):
         start = time.perf_counter()
-        fn()
+        value = fn()
         times.append(time.perf_counter() - start)
-    return {
+    result: Dict[str, object] = {
         "min_s": round(min(times), 6),
         "median_s": round(statistics.median(times), 6),
         "rounds": rounds,
     }
+    if getattr(fn, "composite", False):
+        # Composite benches time their variants internally and return a
+        # dict of extra numeric fields (e.g. discrete-vs-fluid speedup,
+        # kernel event counts) from the *last* round, merged alongside
+        # the outer wall-clock stats.
+        if not isinstance(value, dict):
+            raise TypeError(f"composite bench returned {type(value).__name__}, not dict")
+        for key, extra in value.items():
+            if key in result:
+                raise ValueError(f"composite bench field {key!r} collides with harness")
+            result[key] = extra
+    return result
 
 
 def run_benches(
@@ -192,6 +355,60 @@ def load_history(path: str) -> Dict[str, object]:
     if "entries" not in history:
         raise ValueError(f"{path} is not a bench history file")
     return history
+
+
+def validate_history(history: Dict[str, object]) -> List[str]:
+    """Schema-check a bench history; returns a list of problems (empty = ok).
+
+    Used by the CI ``bench-smoke`` job so malformed entries fail PRs
+    instead of landing silently.  Core fields are required; extra numeric
+    fields from composite benches are allowed (and type-checked).
+    """
+    problems: List[str] = []
+    if not isinstance(history, dict):
+        return ["history is not a JSON object"]
+    if history.get("schema") != SCHEMA_VERSION:
+        problems.append(f"schema must be {SCHEMA_VERSION}, got {history.get('schema')!r}")
+    entries = history.get("entries")
+    if not isinstance(entries, list):
+        return problems + ["'entries' must be a list"]
+    seen_labels: set = set()
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        label = entry.get("label")
+        if not isinstance(label, str) or not label:
+            problems.append(f"{where}.label must be a non-empty string")
+        elif label in seen_labels:
+            problems.append(f"{where}.label {label!r} duplicates an earlier entry")
+        else:
+            seen_labels.add(label)
+        if not isinstance(entry.get("python"), str):
+            problems.append(f"{where}.python must be a string")
+        if "commit" in entry and not isinstance(entry["commit"], (str, type(None))):
+            problems.append(f"{where}.commit must be a string or null")
+        results = entry.get("results")
+        if not isinstance(results, dict) or not results:
+            problems.append(f"{where}.results must be a non-empty object")
+            continue
+        for name, result in results.items():
+            at = f"{where}.results[{name!r}]"
+            if not isinstance(result, dict):
+                problems.append(f"{at} is not an object")
+                continue
+            for field in ("min_s", "median_s"):
+                if not isinstance(result.get(field), (int, float)):
+                    problems.append(f"{at}.{field} must be a number")
+            if not isinstance(result.get("rounds"), int):
+                problems.append(f"{at}.rounds must be an integer")
+            for key, value in result.items():
+                if key in ("min_s", "median_s", "rounds"):
+                    continue
+                if not isinstance(value, (int, float)):
+                    problems.append(f"{at}.{key} (extra field) must be numeric")
+    return problems
 
 
 def _find_entry(history: Dict[str, object], label: Optional[str]) -> Dict[str, object]:
@@ -248,7 +465,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check", type=float, default=None, metavar="MIN_SPEEDUP",
         help="exit 1 unless every compared bench reaches this speedup factor",
     )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="schema-check the history file and exit (runs no benches)",
+    )
     args = parser.parse_args(argv)
+
+    if args.validate:
+        problems = validate_history(load_history(args.out))
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        entries = load_history(args.out)["entries"]
+        print(f"{args.out} ok: {len(entries)} entries")
+        return 0
 
     results = run_benches(args.bench, args.rounds)
     label = args.label or time.strftime("%Y-%m-%dT%H:%M:%S")
@@ -256,6 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "label": label,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "commit": _git_commit(),
         "results": results,
     }
     width = max(len(n) for n in results)
@@ -263,6 +495,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{name:<{width}}  min {result['min_s']:.4f}s  median {result['median_s']:.4f}s")
 
     history = load_history(args.out)
+    duplicates = [e for e in history["entries"] if e.get("label") == label]
+    if duplicates:
+        print(
+            f"WARNING: label {label!r} already captured "
+            f"({len(duplicates)} existing entr{'y' if len(duplicates) == 1 else 'ies'}); "
+            "replacing with this capture",
+            file=sys.stderr,
+        )
+        history["entries"] = [e for e in history["entries"] if e.get("label") != label]
     history["entries"].append(entry)
     if not args.dry_run:
         with open(args.out, "w") as handle:

@@ -61,6 +61,7 @@ class HUPTestbed:
         self.agent: Optional[SODAAgent] = None
         self.repositories: Dict[str, ImageRepository] = {}
         self.clients: Dict[str, NetworkInterface] = {}
+        self.fleets: list = []  # attached fluid background fleets (hybrid runs)
         self._next_pool_base = 0
 
     # -- assembly ----------------------------------------------------------
@@ -131,6 +132,60 @@ class HUPTestbed:
         nic = self.lan.nic(name, CLIENT_NIC_MBPS)
         self.clients[name] = nic
         return nic
+
+    def add_fluid_fleet(
+        self,
+        n_hosts: int = 1000,
+        n_clusters: int = 20,
+        specs=None,
+        fidelity: str = "fluid",
+        **cluster_kwargs,
+    ):
+        """Attach an aggregated background fleet (hybrid fidelity mode).
+
+        The fleet's clusters own their *own* LAN segments and draw from
+        ``fluid:*`` named streams, so attaching one — at either fidelity
+        — leaves every focus-service digest bit-identical (the hybrid
+        contract; see :mod:`repro.sim.fluid`).  Returns the
+        :class:`~repro.sim.fluid.FluidBackgroundLoad`; start it with
+        ``fleet.start(duration_s)`` alongside focus traffic or drive it
+        to completion with ``testbed.run(fleet.run(duration_s))``.
+        """
+        from repro.sim.fluid import (
+            FluidBackgroundLoad,
+            FluidCluster,
+            FluidServiceSpec,
+        )
+
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_hosts < n_clusters:
+            raise ValueError(
+                f"n_hosts ({n_hosts}) must cover n_clusters ({n_clusters})"
+            )
+        if specs is None:
+            specs = [
+                FluidServiceSpec(
+                    name="background-web",
+                    arrival_rps=100.0 * n_clusters,
+                    mean_batch=200,
+                )
+            ]
+        base, extra = divmod(n_hosts, n_clusters)
+        clusters = [
+            FluidCluster(
+                self.sim,
+                f"bg-cluster-{c}",
+                base + (1 if c < extra else 0),
+                **cluster_kwargs,
+            )
+            for c in range(n_clusters)
+        ]
+        fleet = FluidBackgroundLoad(
+            self.sim, self.streams, clusters, list(specs), fidelity=fidelity
+        )
+        self.fleets.append(fleet)
+        return fleet
 
     # -- execution ------------------------------------------------------------
     def run(self, generator, name: str = "", limit: float = float("inf")) -> Any:

@@ -27,6 +27,17 @@ first — see :mod:`repro.sla.enforcement`), and outcome listeners (e.g.
 an :class:`~repro.sla.monitor.SLOMonitor`) receive every per-request
 outcome — ``(time, latency, "ok" | "failed" | "shed")`` — as it happens.
 
+Dispatch batching (extension): :meth:`ServiceSwitch.enable_batching`
+turns on adaptive dispatch coalescing — same-class requests arriving
+within a small window share *one* dispatcher slot, one classify CPU
+slice, and one combined forward transfer per chosen back-end, so a
+burst of n requests costs O(groups) scheduling/LAN events instead of
+O(n).  Per-request accounting is untouched: every request keeps its own
+ingress flow, response-time sample, outcome notification, and span
+chain (the dispatch span simply widens to cover the wait for the
+batch).  Off by default — the serving path and its digests are
+bit-identical until a caller opts in.
+
 Failover hooks (extension): with a :attr:`ServiceSwitch.retry_policy`
 (capped exponential backoff, see :class:`repro.faults.retry.BackoffPolicy`
 — duck-typed: anything with ``max_attempts`` and ``delay(attempt)``)
@@ -68,6 +79,20 @@ __all__ = ["ServiceSwitch"]
 # CPU work to accept, parse and dispatch one request at the switch,
 # megacycles (a user-space L7 dispatcher).
 SWITCH_CPU_MCYCLES = 0.6
+
+
+class _DispatchBatch:
+    """One open coalescing window of same-class requests."""
+
+    __slots__ = ("key", "members", "full", "closed")
+
+    def __init__(self, sim: Simulator, key: str):
+        self.key = key
+        # (request, joined-event) pairs; each event fires with
+        # ``(backend, exc)`` once the batch's shared work is done.
+        self.members: List[tuple] = []
+        self.full: Event = Event(sim)
+        self.closed = False
 
 
 class ServiceSwitch:
@@ -112,6 +137,11 @@ class ServiceSwitch:
         self.quarantined: Set[str] = set()
         self.failovers = 0
         self.timeouts = 0
+        # Dispatch batching (off by default): (window_s, max_batch) when
+        # enabled, plus the open batch per request class.
+        self._batching: Optional[tuple] = None
+        self._open_batches: Dict[str, _DispatchBatch] = {}
+        self.batches_dispatched = 0
         # Market hook (extension): the owning tenant/ASP, set by the
         # SODA Master so per-request metrics and spans carry a tenant
         # dimension for isolation accounting.
@@ -186,6 +216,30 @@ class ServiceSwitch:
     def _notify(self, latency_s: Optional[float], outcome: str) -> None:
         for listener in self._outcome_listeners:
             listener(self.sim.now, latency_s, outcome)
+
+    # -- dispatch batching (extension) ----------------------------------------
+    def enable_batching(self, window_s: float = 0.001, max_batch: int = 32) -> None:
+        """Coalesce same-class requests into shared dispatch batches.
+
+        A request arriving while a batch for its class is open joins it;
+        the batch dispatches when ``window_s`` elapses after it opened or
+        when it reaches ``max_batch`` members, whichever comes first.
+        Incompatible with the failover engine (an attempt retried on a
+        new replica cannot share another request's forward transfer).
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if self.retry_policy is not None or self.request_timeout_s is not None:
+            raise ValueError(
+                "dispatch batching is incompatible with the failover engine"
+            )
+        self._batching = (window_s, max_batch)
+
+    def disable_batching(self) -> None:
+        """Stop opening new batches (open ones drain normally)."""
+        self._batching = None
 
     # -- policy management (the ASP-facing hook, §3.4) -----------------------
     def set_policy(self, policy: SwitchingPolicy) -> None:
@@ -324,6 +378,14 @@ class ServiceSwitch:
                 request, started, lane, root, dispatch, owns_root
             )
             return response
+        # Batching path (extension): join/open a coalescing batch; the
+        # batch pays the dispatcher slot, classify CPU, and forward
+        # transfers once on behalf of all its members.
+        if self._batching is not None:
+            response = yield from self._serve_batched(
+                request, started, root, dispatch, owns_root
+            )
+            return response
         # 2. Switch processing (serialised).
         slot = self._dispatcher.request()
         try:
@@ -374,6 +436,116 @@ class ServiceSwitch:
         if owns_root:
             root.finish(self.sim.now).annotate(node=response.node_name)
         return response
+
+    # -- dispatch batching engine (extension) ---------------------------------
+    def _serve_batched(
+        self, request: Request, started: float, root, dispatch, owns_root: bool
+    ) -> Generator[Event, Any, NodeResponse]:
+        """Member side of the batched serving path.
+
+        Runs after the request's own ingress and shed check.  The member
+        joins (or opens) its class's batch, waits for the batch's shared
+        dispatch work, then serves and accounts exactly like the plain
+        path: its own back-end process, response-time sample, outcome
+        notification, and spans — the dispatch span closes at the same
+        instant the back-end process starts, so span tiling per request
+        is preserved.
+        """
+        window_s, max_batch = self._batching
+        key = request.component
+        batch = self._open_batches.get(key)
+        if batch is None or batch.closed or len(batch.members) >= max_batch:
+            batch = _DispatchBatch(self.sim, key)
+            self._open_batches[key] = batch
+            self.sim.process(
+                self._run_batch(batch, window_s),
+                name=f"batch:{self.service_name}:{key or '-'}",
+            )
+        joined = Event(self.sim)
+        batch.members.append((request, joined))
+        if len(batch.members) >= max_batch and not batch.full.triggered:
+            batch.full.succeed()
+        backend, exc = yield joined
+        if exc is not None:
+            self._notify(None, "failed")
+            self._obs_outcome("failed")
+            self._finish_spans(dispatch, root if owns_root else None, "failed")
+            raise exc
+        # Shared work done (forward transfer included); from here the
+        # member path is the plain path's per-request tail.
+        self.dispatched += 1
+        self.per_node_count[backend.name] = self.per_node_count.get(backend.name, 0) + 1
+        cache = self._obs_metrics()
+        if cache is not None:
+            cache[3].inc(service=self.service_name, node=backend.name)
+        if dispatch is not None:
+            dispatch.finish(self.sim.now).annotate(node=backend.name)
+        try:
+            response = yield self.sim.process(
+                backend.serve(request), name=f"serve:{backend.name}"
+            )
+        except SODAError:
+            self.rejected += 1
+            self._notify(None, "failed")
+            self._obs_outcome("failed")
+            self._finish_spans(None, root if owns_root else None, "failed")
+            raise
+        elapsed = self.sim.now - started
+        self.response_times.record(self.sim.now, elapsed)
+        self._notify(elapsed, "ok")
+        self._obs_outcome("ok", elapsed)
+        if owns_root:
+            root.finish(self.sim.now).annotate(node=response.node_name)
+        return response
+
+    def _run_batch(
+        self, batch: _DispatchBatch, window_s: float
+    ) -> Generator[Event, Any, None]:
+        """Batch side: one slot, one classify slice, one flow per group.
+
+        Spawned when the batch opens; closes it after ``window_s`` or
+        when it fills, then performs the coalesced dispatch work and
+        fires every member's event — success carries the chosen
+        back-end once that back-end's combined forward transfer lands.
+        """
+        guard = self.sim.timeout(window_s)
+        if not batch.full.triggered:
+            yield self.sim.any_of([guard, batch.full])
+        batch.closed = True
+        if self._open_batches.get(batch.key) is batch:
+            del self._open_batches[batch.key]
+        # One dispatcher slot and one classify slice for the whole batch
+        # — this is the coalescing win on the switch's CPU.
+        groups: Dict[VirtualServiceNode, List[Event]] = {}
+        slot = self._dispatcher.request()
+        try:
+            yield slot
+            yield self.sim.timeout(
+                SWITCH_CPU_MCYCLES / self.home_node.host.cpu_mhz
+            )
+            for req, joined in batch.members:
+                try:
+                    backend = self.select(req)
+                except ServiceUnavailableError as exc:
+                    joined.succeed((None, exc))
+                    continue
+                groups.setdefault(backend, []).append(joined)
+        finally:
+            self._dispatcher.release(slot)
+        self.batches_dispatched += 1
+        # One combined forward transfer per chosen back-end; members
+        # resume the instant their group's last byte lands.
+        for backend, events in groups.items():
+            flow = self.lan.transfer(
+                self.home_node.host.nic, backend.host.nic,
+                len(events) * REQUEST_SIZE_MB,
+                label=f"switch:{self.service_name}:fwd",
+            )
+            flow.done.callbacks.append(
+                lambda _ev, b=backend, evs=events: [
+                    joined.succeed((b, None)) for joined in evs
+                ]
+            )
 
     # -- failover engine (extension) -----------------------------------------
     def _serve_with_failover(

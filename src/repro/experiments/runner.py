@@ -51,6 +51,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         fig4_loadbalance,
         fig5_cpushares,
         fig6_slowdown,
+        fleet_scale,
         table1_requirements,
         table2_bootstrap,
         table3_config,
@@ -76,6 +77,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         ablation_scheduler_shares,
         ablation_tailoring,
         ablation_market,
+        fleet_scale,
     ]
     return {m.EXPERIMENT_ID: m.run for m in modules}
 

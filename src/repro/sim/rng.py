@@ -83,6 +83,14 @@ class RandomStreams:
             return 1.0
         return float(self.stream(name).lognormal(mean=0.0, sigma=sigma))
 
+    def poisson(self, name: str, mean: float) -> int:
+        """One Poisson draw with the given mean (>= 0)."""
+        if mean < 0:
+            raise ValueError(f"mean must be non-negative, got {mean}")
+        if mean == 0:
+            return 0
+        return int(self.stream(name).poisson(mean))
+
     def choice(self, name: str, n: int) -> int:
         """Uniform integer in [0, n)."""
         if n <= 0:

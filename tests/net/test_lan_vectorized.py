@@ -1,0 +1,117 @@
+"""Scalar vs vectorized LAN allocator: bit-for-bit equivalence.
+
+The vectorized progressive-filling path (`_compute_wire_rates_vec`)
+computes each round's per-flow limits from the same IEEE-754 operands
+as the scalar loop and fixes flows in the same arrival order, so the
+two must agree *exactly* — same rates, same finish times, same kernel
+event count.  These tests pin that by running identical randomized
+scenarios with the vectorization threshold forced to "always" and
+"never" and comparing floats with ``==``, not approx.
+"""
+
+import random
+
+import repro.net.lan as lan_mod
+from repro.net.lan import LAN
+from repro.sim.kernel import Simulator
+
+
+def run_scenario(seed, with_faults=False, n_flows=48):
+    """One randomized multi-NIC contention scenario; returns the trace."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=2000.0)
+    nics = [
+        lan.nic(f"h{i}", rate_mbps=rng.choice([100.0, 400.0, 1000.0]))
+        for i in range(12)
+    ]
+    flows = []
+
+    def spawn(sim):
+        for i in range(n_flows):
+            src, dst = rng.sample(nics, 2)
+            cap = rng.choice([None, 50.0, 250.0])
+            flows.append(
+                lan.transfer(
+                    src, dst, rng.uniform(0.05, 4.0),
+                    rate_cap_mbps=cap, label=f"f{i}",
+                )
+            )
+            if rng.random() < 0.5:
+                yield sim.timeout(rng.uniform(0.0, 0.004))
+        if with_faults:
+            yield sim.timeout(0.002)
+            lan.stall_nic(nics[0])
+            lan.partition(nics[6:])
+            yield sim.timeout(0.01)
+            lan.unstall_nic(nics[0])
+            lan.heal_partition()
+
+    sim.process(spawn(sim))
+    sim.run()
+    assert all(f.finished_at is not None for f in flows)
+    trace = [(f.label, f.started_at, f.finished_at, f.elapsed) for f in flows]
+    return trace, sim.events_scheduled, lan
+
+
+def test_vectorized_allocator_matches_scalar_exactly(monkeypatch):
+    for seed in (0, 1, 2):
+        monkeypatch.setattr(lan_mod, "VECTORIZE_MIN_FLOWS", 10**9)
+        scalar, scalar_events, _ = run_scenario(seed)
+        monkeypatch.setattr(lan_mod, "VECTORIZE_MIN_FLOWS", 1)
+        vec, vec_events, lan = run_scenario(seed)
+        assert lan._vec_flows > 0  # the numpy path really ran
+        assert vec == scalar  # exact float equality, per flow
+        assert vec_events == scalar_events
+
+
+def test_vectorized_allocator_matches_scalar_under_faults(monkeypatch):
+    # Stalls and a partition mid-run: blocked flows are parked before
+    # rate computation, so both paths see the same residual problem.
+    monkeypatch.setattr(lan_mod, "VECTORIZE_MIN_FLOWS", 10**9)
+    scalar, scalar_events, _ = run_scenario(3, with_faults=True)
+    monkeypatch.setattr(lan_mod, "VECTORIZE_MIN_FLOWS", 1)
+    vec, vec_events, _ = run_scenario(3, with_faults=True)
+    assert vec == scalar
+    assert vec_events == scalar_events
+
+
+def test_default_threshold_engages_on_wide_fan_in():
+    # A 30-flow simultaneous fan-in crosses VECTORIZE_MIN_FLOWS on its
+    # own — no monkeypatching — and still finishes every flow.
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=10_000.0)
+    sink = lan.nic("sink", rate_mbps=1000.0)
+    srcs = [lan.nic(f"s{i}", rate_mbps=1000.0) for i in range(30)]
+    flows = [lan.transfer(src, sink, 1.0) for src in srcs]
+    sim.run()
+    assert lan._vec_flows >= 30
+    assert all(f.finished_at is not None for f in flows)
+    # Fair share of the sink NIC: identical flows finish together.
+    ends = {f.finished_at for f in flows}
+    assert len(ends) == 1
+
+
+def test_vec_scratch_buffers_are_reused():
+    sim = Simulator()
+    lan = LAN(sim, bandwidth_mbps=10_000.0)
+    sink = lan.nic("sink", rate_mbps=1000.0)
+    srcs = [lan.nic(f"s{i}", rate_mbps=1000.0) for i in range(40)]
+
+    def proc(sim):
+        for _ in range(3):
+            flows = [lan.transfer(src, sink, 0.5) for src in srcs]
+            for f in flows:
+                yield f.done
+
+    sim.run_until_process(sim.process(proc(sim)))
+    first_caps = lan._vec_caps
+    assert first_caps is not None and len(first_caps) >= 40
+
+    def proc2(sim):
+        flows = [lan.transfer(src, sink, 0.5) for src in srcs[:30]]
+        for f in flows:
+            yield f.done
+
+    sim.run_until_process(sim.process(proc2(sim)))
+    assert lan._vec_caps is first_caps  # no reallocation for smaller rounds
