@@ -25,8 +25,12 @@ speedup — into their result dict alongside ``min_s``/``median_s``.
 ``--compare`` prints the speedup of the newest entry against the first (or
 ``--against LABEL``); ``--check MIN`` exits non-zero unless every compared
 bench meets the given speedup factor; ``--validate`` checks the history
-file against the schema and exits.  Timings are machine-dependent, so
-comparisons are only meaningful between entries produced on one machine.
+file against the schema and exits; ``--gate MAX_DROP`` runs the selected
+benches and fails on a throughput regression worse than ``MAX_DROP``
+against the newest committed entry that measured each bench (the CI
+regression gate — it never writes the file).  Timings are
+machine-dependent, so comparisons and the gate are only meaningful
+between entries produced on one machine.
 """
 
 from __future__ import annotations
@@ -40,7 +44,9 @@ import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["BENCHES", "run_benches", "load_history", "validate_history", "main"]
+__all__ = [
+    "BENCHES", "run_benches", "load_history", "validate_history", "gate", "main",
+]
 
 BENCH_FILE = "BENCH_simulator.json"
 SCHEMA_VERSION = 1
@@ -271,6 +277,71 @@ def bench_switch_dispatch_throughput() -> Dict[str, float]:
 bench_switch_dispatch_throughput.composite = True
 
 
+def bench_federated_parallel_throughput() -> Dict[str, float]:
+    """The 4-cluster federated composite: sub-kernel workers vs serial.
+
+    Runs the ``federation-scale`` topology (heavier background fleets)
+    under worker counts 1/2/4/8 — 8 caps at the 4 shards — and reports
+    measured wall clocks plus the structural metrics of the epoch
+    barrier: messages per epoch, barrier-stall (load-imbalance)
+    fraction, and the **dedicated-core projection**.  On a multi-core
+    host the measured ``speedup_4w_x`` is the headline; this capture
+    host exposes a single core (``cores`` field), where true
+    process-parallel wall speedup is physically unavailable, so the
+    projection is computed from real per-epoch worker CPU times
+    (``time.process_time``): the critical path is the sum over epochs
+    of the slowest worker's busy time — the wall the barrier structure
+    would cost with each worker on its own core.  Digest equality
+    across all arms is asserted, so every arm does identical
+    simulation work.
+    """
+    import os
+
+    from repro.experiments.federation_scale import build_topology
+    from repro.sim.parallel import run_federation
+
+    topology = build_topology(
+        n_hosts=50, geo_rps=150.0, n_placements=3,
+        background_rps=1200.0, n_background=8, background_mean_batch=10,
+    )
+    duration_s = 4.0
+    runs = {}
+    for n_workers in (1, 2, 4, 8):
+        runs[n_workers] = run_federation(
+            topology, duration_s=duration_s, seed=0, n_workers=n_workers
+        )
+    serial = runs[1]
+    for n_workers, run in runs.items():
+        assert run.digest_sha == serial.digest_sha, (
+            f"digest mismatch at {n_workers} workers"
+        )
+    four = runs[4]
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return {
+        "requests": serial.total_requests,
+        "epochs": serial.epochs,
+        "messages": serial.messages,
+        "msgs_per_epoch": round(serial.msgs_per_epoch, 2),
+        "wall_serial_s": round(serial.wall_s, 4),
+        "wall_2w_s": round(runs[2].wall_s, 4),
+        "wall_4w_s": round(four.wall_s, 4),
+        "wall_8w_s": round(runs[8].wall_s, 4),
+        "speedup_2w_x": round(serial.wall_s / runs[2].wall_s, 2),
+        "speedup_4w_x": round(serial.wall_s / four.wall_s, 2),
+        "barrier_stall_fraction_4w": round(four.barrier_stall_fraction, 3),
+        "critical_path_4w_s": round(four.critical_path_s, 4),
+        "projected_speedup_4w_x": round(serial.wall_s / four.critical_path_s, 2),
+        "digest_match": 1,
+        "cores": cores,
+    }
+
+
+bench_federated_parallel_throughput.composite = True
+
+
 #: bench name -> (callable, default rounds).
 BENCHES: Dict[str, tuple] = {
     "kernel_event_throughput": (bench_kernel_event_throughput, 5),
@@ -280,6 +351,7 @@ BENCHES: Dict[str, tuple] = {
     "admission_decision_throughput": (bench_admission_decision_throughput, 5),
     "fleet_scale_throughput": (bench_fleet_scale_throughput, 2),
     "switch_dispatch_throughput": (bench_switch_dispatch_throughput, 3),
+    "federated_parallel_throughput": (bench_federated_parallel_throughput, 1),
 }
 
 
@@ -438,6 +510,52 @@ def compare(
     return speedups
 
 
+def gate(
+    history: Dict[str, object],
+    results: Dict[str, Dict[str, object]],
+    max_drop: float,
+) -> List[str]:
+    """The CI regression gate: fresh results vs the last committed entry.
+
+    For each bench in ``results``, find the *newest* committed entry
+    that measured it and fail if the fresh ``median_s`` regressed by
+    more than ``max_drop`` (e.g. ``0.30`` = throughput down >30%,
+    i.e. ``median_s > baseline / (1 - max_drop)``).  Benches with no
+    committed baseline pass (first capture).  Returns the list of
+    failure messages (empty = gate passes); writes nothing.
+    """
+    if not 0 < max_drop < 1:
+        raise ValueError(f"max_drop must be in (0, 1), got {max_drop}")
+    failures: List[str] = []
+    entries = list(history.get("entries", []))
+    for name, result in results.items():
+        baseline = None
+        baseline_label = None
+        for entry in reversed(entries):
+            candidate = entry.get("results", {}).get(name)
+            if candidate is not None:
+                baseline = candidate
+                baseline_label = entry.get("label")
+                break
+        if baseline is None:
+            print(f"{name}: no committed baseline, gate passes trivially")
+            continue
+        allowed = baseline["median_s"] / (1.0 - max_drop)
+        verdict = "ok" if result["median_s"] <= allowed else "REGRESSED"
+        print(
+            f"{name}: median {result['median_s']:.4f}s vs baseline "
+            f"{baseline['median_s']:.4f}s ({baseline_label!r}), "
+            f"allowed <= {allowed:.4f}s: {verdict}"
+        )
+        if result["median_s"] > allowed:
+            failures.append(
+                f"{name} regressed: median {result['median_s']:.4f}s vs "
+                f"baseline {baseline['median_s']:.4f}s "
+                f"(> {max_drop:.0%} throughput drop)"
+            )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.bench",
@@ -469,6 +587,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--validate", action="store_true",
         help="schema-check the history file and exit (runs no benches)",
     )
+    parser.add_argument(
+        "--gate", type=float, default=None, metavar="MAX_DROP",
+        help="regression gate: run the selected benches, compare each against "
+        "the newest committed entry that measured it, and exit 1 on a "
+        "throughput drop worse than MAX_DROP (e.g. 0.30); never writes",
+    )
     args = parser.parse_args(argv)
 
     if args.validate:
@@ -479,6 +603,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         entries = load_history(args.out)["entries"]
         print(f"{args.out} ok: {len(entries)} entries")
+        return 0
+
+    if args.gate is not None:
+        results = run_benches(args.bench, args.rounds)
+        failures = gate(load_history(args.out), results, args.gate)
+        if failures:
+            for failure in failures:
+                print(f"GATE: {failure}", file=sys.stderr)
+            return 1
+        print(f"bench gate ok (max drop {args.gate:.0%})")
         return 0
 
     results = run_benches(args.bench, args.rounds)

@@ -131,9 +131,13 @@ class ServiceSwitch:
         self.shedder: Optional[Any] = None
         self._outcome_listeners: List[Callable[[float, Optional[float], str], None]] = []
         # Failover hooks (off by default — the plain serving path runs
-        # unchanged unless one of these is installed).
-        self.retry_policy: Optional[Any] = None
-        self.request_timeout_s: Optional[float] = None
+        # unchanged unless one of these is installed).  Both are
+        # properties: their setters reject configuration while dispatch
+        # batching is enabled (and enable_batching rejects the reverse),
+        # so the documented incompatibility is enforced both ways at
+        # configuration time.
+        self._retry_policy: Optional[Any] = None
+        self._request_timeout_s: Optional[float] = None
         self.quarantined: Set[str] = set()
         self.failovers = 0
         self.timeouts = 0
@@ -216,6 +220,33 @@ class ServiceSwitch:
     def _notify(self, latency_s: Optional[float], outcome: str) -> None:
         for listener in self._outcome_listeners:
             listener(self.sim.now, latency_s, outcome)
+
+    # -- failover configuration (mutually exclusive with batching) -----------
+    @property
+    def retry_policy(self) -> Optional[Any]:
+        return self._retry_policy
+
+    @retry_policy.setter
+    def retry_policy(self, policy: Optional[Any]) -> None:
+        if policy is not None and getattr(self, "_batching", None) is not None:
+            raise ValueError(
+                "the failover engine is incompatible with dispatch batching "
+                "(disable_batching() first)"
+            )
+        self._retry_policy = policy
+
+    @property
+    def request_timeout_s(self) -> Optional[float]:
+        return self._request_timeout_s
+
+    @request_timeout_s.setter
+    def request_timeout_s(self, timeout_s: Optional[float]) -> None:
+        if timeout_s is not None and getattr(self, "_batching", None) is not None:
+            raise ValueError(
+                "the failover engine is incompatible with dispatch batching "
+                "(disable_batching() first)"
+            )
+        self._request_timeout_s = timeout_s
 
     # -- dispatch batching (extension) ----------------------------------------
     def enable_batching(self, window_s: float = 0.001, max_batch: int = 32) -> None:

@@ -47,6 +47,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         ablation_scheduler_shares,
         ablation_tailoring,
         download_time,
+        federation_scale,
         fig3_isolation,
         fig4_loadbalance,
         fig5_cpushares,
@@ -78,6 +79,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         ablation_tailoring,
         ablation_market,
         fleet_scale,
+        federation_scale,
     ]
     return {m.EXPERIMENT_ID: m.run for m in modules}
 

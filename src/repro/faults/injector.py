@@ -36,10 +36,15 @@ class FaultInjector:
         sim: Simulator,
         lan: LAN,
         nodes: Sequence[VirtualServiceNode] = (),
+        wan_links: Sequence[Any] = (),
     ):
         self.sim = sim
         self.lan = lan
         self.nodes: List[VirtualServiceNode] = list(nodes)
+        # WAN links registered by name: a LINK_STALL whose target names
+        # one of these freezes the whole link (both gateway NICs) via
+        # WanLink.stall()/restore() instead of a single LAN NIC.
+        self.wan_links: Dict[str, Any] = {link.name: link for link in wan_links}
         #: (time, kind value, target, phase) — phase is "inject",
         #: "restore", or "skip" (target not in a faultable state).
         self.log: List[Tuple[float, str, str, str]] = []
@@ -52,6 +57,12 @@ class FaultInjector:
 
     def add_nodes(self, nodes: Sequence[VirtualServiceNode]) -> None:
         self.nodes.extend(nodes)
+
+    def add_wan_link(self, link: Any) -> None:
+        """Register a :class:`~repro.net.wan.WanLink` as a stall target."""
+        if link.name in self.wan_links:
+            raise ValueError(f"WAN link {link.name!r} already registered")
+        self.wan_links[link.name] = link
 
     # -- arming -------------------------------------------------------------
     def arm(self, schedule: FaultSchedule) -> List[Process]:
@@ -108,7 +119,9 @@ class FaultInjector:
         elif event.kind is FaultKind.PARTITION:
             span = self._partition_start(event)
         yield self.sim.timeout(event.duration_s)
-        if event.kind is FaultKind.HOST_OUTAGE or event.kind is FaultKind.LINK_STALL:
+        if event.kind is FaultKind.LINK_STALL and event.target in self.wan_links:
+            self.wan_links[event.target].restore()
+        elif event.kind is FaultKind.HOST_OUTAGE or event.kind is FaultKind.LINK_STALL:
             self.lan.unstall_nic(self.lan.find_nic(event.target))
         elif event.kind is FaultKind.LAN_DEGRADE:
             self._degrades_active -= 1
@@ -160,7 +173,10 @@ class FaultInjector:
 
     def _link_stall_start(self, event: FaultEvent):
         span = self._span(event)
-        self.lan.stall_nic(self.lan.find_nic(event.target))
+        if event.target in self.wan_links:
+            self.wan_links[event.target].stall()
+        else:
+            self.lan.stall_nic(self.lan.find_nic(event.target))
         self._record(event.kind, event.target, "inject")
         return span
 

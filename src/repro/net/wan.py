@@ -14,16 +14,82 @@ cross-site transfers with:
 
 Intra-LAN traffic is untouched; the WAN appears to each LAN only as a
 pair of ordinary (busy) NICs.
+
+Two extensions serve the parallel federated simulator
+(:mod:`repro.sim.parallel`):
+
+* :class:`WanTransferDescriptor` — a picklable, pure-data description
+  of a cross-cluster transfer.  Sub-kernel shards cannot hand each
+  other live :class:`Flow` objects, so the message plane ships
+  descriptors and each side applies the same closed-form timing
+  (``latency + size / bandwidth``).  Descriptors allow ``size_mb == 0``
+  (latency-only control messages); the flow-based
+  :meth:`WanLink.transfer` requires a positive size, like the LAN.
+* **Lookahead declaration** — :attr:`WanLink.lookahead_s` (and the
+  descriptor's field of the same name) is the link's guaranteed lower
+  bound on cross-cluster event propagation: no byte sent at ``t`` can
+  be observed remotely before ``t + lookahead_s``.  Conservative
+  parallel simulation synchronizes shards in epochs of the *minimum*
+  lookahead over all inter-cluster links.
+
+Fault hooks (:meth:`WanLink.stall` / :meth:`WanLink.restore`) mirror
+the LAN's ``stall_nic``/``unstall_nic`` so the fault injector can
+freeze a WAN link: a stalled link's gateway NICs are stalled on both
+member LANs, pinning every active (and newly started) transfer at zero
+rate until restore.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.net.lan import LAN, Flow, NetworkInterface
 from repro.sim.kernel import Event, Simulator
 
-__all__ = ["WanTransfer", "WanLink"]
+__all__ = ["WanTransfer", "WanTransferDescriptor", "WanLink"]
+
+
+@dataclass(frozen=True)
+class WanTransferDescriptor:
+    """A serializable cross-shard WAN transfer (pure data, picklable).
+
+    The analytic twin of a :class:`WanTransfer`: ``delivery_time``
+    applies the link's propagation latency plus the serialization time
+    of ``size_mb`` at the link rate, with no live simulator objects
+    involved — both sides of an epoch barrier can evaluate it and agree
+    bit-for-bit.  ``size_mb == 0`` models a latency-only control
+    message (broker calls, placement broadcasts).
+    """
+
+    src: str
+    dst: str
+    size_mb: float
+    bandwidth_mbps: float
+    lookahead_s: float  # the link's declared latency lower bound
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0:
+            raise ValueError(f"size_mb must be non-negative, got {self.size_mb}")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(
+                f"bandwidth_mbps must be positive, got {self.bandwidth_mbps}"
+            )
+        if self.lookahead_s <= 0:
+            raise ValueError(
+                "a cross-shard link needs a positive lookahead "
+                f"(latency), got {self.lookahead_s}"
+            )
+
+    @property
+    def transfer_s(self) -> float:
+        """Serialization time of the payload at the full link rate."""
+        return self.size_mb * 8.0 / self.bandwidth_mbps
+
+    def delivery_time(self, send_time: float) -> float:
+        """When the last byte lands, for a send at ``send_time``."""
+        return send_time + self.lookahead_s + self.transfer_s
 
 
 class WanTransfer:
@@ -76,6 +142,7 @@ class WanLink:
         self.gateway_a = lan_a.nic(f"{name}-gw-a", bandwidth_mbps)
         self.gateway_b = lan_b.nic(f"{name}-gw-b", bandwidth_mbps)
         self._active: List[WanTransfer] = []
+        self._stalled = False
 
     def _side_of(self, nic: NetworkInterface) -> Optional[LAN]:
         for lan in (self.lan_a, self.lan_b):
@@ -86,6 +153,56 @@ class WanLink:
     @property
     def active_transfers(self) -> List[WanTransfer]:
         return list(self._active)
+
+    # -- lookahead declaration (conservative parallel simulation) ----------
+    @property
+    def lookahead_s(self) -> float:
+        """The guaranteed lower bound on cross-LAN event propagation.
+
+        Propagation latency is paid by every transfer regardless of
+        size, so nothing sent at ``t`` is observable on the far side
+        before ``t + lookahead_s`` — the property conservative epoch
+        synchronization rests on (see :mod:`repro.sim.parallel`).
+        """
+        return self.latency_s
+
+    def describe(self, size_mb: float, label: str = "") -> WanTransferDescriptor:
+        """A picklable descriptor of a transfer over this link."""
+        return WanTransferDescriptor(
+            src=self.gateway_a.name,
+            dst=self.gateway_b.name,
+            size_mb=size_mb,
+            bandwidth_mbps=self.bandwidth_mbps,
+            lookahead_s=self.latency_s,
+            label=label or self.name,
+        )
+
+    # -- fault hooks (mirror LAN.stall_nic/unstall_nic) --------------------
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def stall(self) -> None:
+        """Freeze the link: all transfers (current and new) stop moving.
+
+        Implemented by stalling the gateway NIC on each member LAN, so
+        the LAN allocators pin every flow through the gateways at zero
+        rate.  Idempotent; transfers resume from their remaining bytes
+        on :meth:`restore`.
+        """
+        if self._stalled:
+            return
+        self._stalled = True
+        self.lan_a.stall_nic(self.gateway_a)
+        self.lan_b.stall_nic(self.gateway_b)
+
+    def restore(self) -> None:
+        """Unfreeze the link; blocked transfers pick up where they left off."""
+        if not self._stalled:
+            return
+        self._stalled = False
+        self.lan_a.unstall_nic(self.gateway_a)
+        self.lan_b.unstall_nic(self.gateway_b)
 
     def _reshare(self) -> None:
         """Fair WAN share for each active transfer, applied as caps."""
@@ -105,6 +222,11 @@ class WanLink:
         label: str = "",
     ) -> WanTransfer:
         """Start a cross-LAN transfer from ``src`` to ``dst``."""
+        if size_mb <= 0:
+            raise ValueError(
+                f"WAN transfer size must be positive, got {size_mb} "
+                "(latency-only messages use WanTransferDescriptor)"
+            )
         src_lan = self._side_of(src)
         dst_lan = self._side_of(dst)
         if src_lan is None or dst_lan is None:

@@ -541,6 +541,30 @@ class Simulator:
             (self._now, URGENT, self._seq, None, _CallbackShim(callback), True, None, None),
         )
 
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], priority: int = NORMAL
+    ) -> None:
+        """Run ``callback()`` at absolute simulated time ``time``.
+
+        The pause/resume hook for sub-kernel drivers: ``run(until=H)``
+        parks the simulator exactly at horizon ``H`` (events beyond it
+        stay on the heap), and ``schedule_at`` injects externally-sourced
+        work — cross-shard message deliveries, epoch-barrier callbacks —
+        at its exact timestamp before the next ``run(until=...)`` leg.
+        Injection order at equal ``(time, priority)`` is preserved by the
+        sequence counter, so callers control same-instant tie-breaking by
+        the order of their ``schedule_at`` calls.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"schedule_at({time}) is in the past (now={self._now})"
+            )
+        self._seq += 1
+        _heappush(
+            self._heap,
+            (time, priority, self._seq, None, _CallbackShim(callback), True, None, None),
+        )
+
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
         return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,832 @@
+"""Parallel federated simulation: per-cluster sub-kernels, WAN lookahead.
+
+A federated hosting utility is many autonomous clusters coupled only by
+WAN links (the utility/grid decomposition of PAPERS.md), and that makes
+it exactly the workload conservative parallel discrete-event simulation
+was built for: a cluster's internal events can never be influenced by a
+remote cluster faster than the WAN latency between them, so each WAN
+link's ``latency_s`` is a guaranteed **lookahead** bound.
+
+This module shards a federated run across sub-kernels:
+
+* :class:`ClusterShard` — one cluster as a self-contained simulation:
+  its own :class:`~repro.sim.kernel.Simulator`, its own spawned RNG
+  namespace, its own LAN segment and numpy host ledgers (a
+  :class:`~repro.sim.fluid.FluidCluster` fleet), plus geo-routed demand
+  and its slice of the two-level broker protocol.  A shard interacts
+  with the rest of the federation **only** through picklable
+  :class:`ShardMessage` values — never live object references.
+* The **epoch coordinator** (:func:`run_federation`) advances global
+  time in epochs of ``min(latency_s)`` over all inter-cluster links.
+  Within an epoch ``[T, T + L)`` every shard simulates independently
+  (``Simulator.run(until=horizon)`` parks each kernel exactly at the
+  barrier; ``Simulator.schedule_at`` re-injects work for the next leg).
+  At the barrier, the messages every shard emitted are gathered, sorted
+  by ``(deliver_at, src, seq)`` — the stable sequence key — and handed
+  to their destination shards before any shard starts the next epoch.
+* **Why this is safe**: a message sent at ``t in [T, T+L)`` over a link
+  with latency ``lat >= L`` is delivered at ``t + lat >= T + L`` — at
+  or after the next barrier.  No shard can ever receive a message from
+  the epoch it is currently simulating, so no rollback is needed.
+* **Why worker counts cannot change results**: each shard is a pure
+  function of its spec and its (sorted) inbound message stream, both of
+  which are identical whatever the process layout; and the barrier sort
+  key is global and total, so same-instant deliveries are scheduled in
+  the same kernel order everywhere.  ``run_federation`` therefore
+  produces **bit-identical digests** for 1 (in-process serial), 2, 4,
+  ... worker processes — the determinism guard pins this.
+
+The cross-cluster message kinds exercised by the shard model:
+
+* ``dispatch`` / ``reply`` — geo-routed request batches served by a
+  remote replica, round-trip accounted at the origin,
+* ``place`` / ``placed`` — broker placement calls: a shard asks the
+  global :class:`~repro.core.federation.GeoBroker` (hosted on its home
+  shard) to place a new service; the decision is broadcast,
+* ``xfer`` — the service image pushed over the WAN to the chosen host
+  (a latency-plus-bandwidth :class:`~repro.net.wan.WanTransferDescriptor`
+  delay); dispatches that beat the image wait in a pending queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.federation import GeoBroker
+from repro.net.wan import WanTransferDescriptor
+from repro.sim.fluid import (
+    CLASSIFY_MCYCLES,
+    FluidBackgroundLoad,
+    FluidCluster,
+    FluidServiceSpec,
+)
+from repro.sim.kernel import Event, Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "ShardMessage",
+    "GeoServiceSpec",
+    "ClusterSpec",
+    "WanEdgeSpec",
+    "FederationTopology",
+    "ClusterShard",
+    "FederationRun",
+    "run_federation",
+]
+
+
+# ---------------------------------------------------------------------------
+# Pure-data topology (everything picklable: specs cross process boundaries).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-shard message, exchanged at epoch barriers.
+
+    ``seq`` is the sender's monotonic counter; ``(deliver_at, src, seq)``
+    is therefore globally unique and totally ordered — the stable
+    sequence key every barrier sorts by, so delivery order (and hence
+    each receiving kernel's tie-breaking) is identical for any worker
+    layout.
+    """
+
+    deliver_at: float
+    src: str
+    dst: str
+    seq: int
+    kind: str
+    payload: Tuple
+    send_time: float
+
+    @property
+    def sort_key(self) -> Tuple[float, str, int]:
+        return (self.deliver_at, self.src, self.seq)
+
+
+@dataclass(frozen=True)
+class GeoServiceSpec:
+    """A federation-wide service replica set entry."""
+
+    name: str
+    home: str  # hosting cluster
+    service_s: float = 0.004
+    request_mb: float = 0.002
+    response_mb: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("geo service needs a name")
+        if self.service_s <= 0:
+            raise ValueError(f"service_s must be positive, got {self.service_s}")
+        if self.request_mb < 0 or self.response_mb < 0:
+            raise ValueError("payload sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One autonomous cluster of the federation (picklable)."""
+
+    name: str
+    n_hosts: int = 50
+    workers_per_host: int = 2
+    host_cpu_mhz: float = 1000.0
+    background: Tuple[FluidServiceSpec, ...] = ()
+    geo_rps: float = 0.0  # aggregate geo-routed request rate issued here
+    geo_mean_batch: int = 20
+    n_placements: int = 0  # broker placement calls issued during the run
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cluster needs a name")
+        if self.n_hosts < 1:
+            raise ValueError(f"n_hosts must be >= 1, got {self.n_hosts}")
+        if self.geo_rps < 0:
+            raise ValueError(f"geo_rps must be non-negative, got {self.geo_rps}")
+        if self.geo_mean_batch < 1:
+            raise ValueError(f"geo_mean_batch must be >= 1, got {self.geo_mean_batch}")
+        if self.n_placements < 0:
+            raise ValueError(f"n_placements must be >= 0, got {self.n_placements}")
+
+
+@dataclass(frozen=True)
+class WanEdgeSpec:
+    """A WAN link between two clusters; ``latency_s`` is its lookahead."""
+
+    a: str
+    b: str
+    latency_s: float
+    bandwidth_mbps: float = 622.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a WAN edge joins two distinct clusters")
+        if self.latency_s <= 0:
+            raise ValueError(
+                "conservative synchronization needs a positive latency "
+                f"(lookahead), got {self.latency_s}"
+            )
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth_mbps}"
+            )
+
+    def descriptor(self, size_mb: float, label: str = "") -> WanTransferDescriptor:
+        return WanTransferDescriptor(
+            src=self.a, dst=self.b, size_mb=size_mb,
+            bandwidth_mbps=self.bandwidth_mbps, lookahead_s=self.latency_s,
+            label=label,
+        )
+
+
+@dataclass(frozen=True)
+class FederationTopology:
+    """The federated deployment: clusters, WAN mesh, global services."""
+
+    clusters: Tuple[ClusterSpec, ...]
+    edges: Tuple[WanEdgeSpec, ...]
+    geo_services: Tuple[GeoServiceSpec, ...] = ()
+    broker: str = ""  # broker's home cluster (default: first cluster)
+    image_mb: float = 64.0  # service image pushed per placement
+    placed_service_s: float = 0.004
+    placed_request_mb: float = 0.002
+    placed_response_mb: float = 0.02
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.clusters]
+        if len(names) < 2:
+            raise ValueError("a federation needs at least two clusters")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cluster names: {names}")
+        if self.image_mb <= 0:
+            raise ValueError(f"image_mb must be positive, got {self.image_mb}")
+        broker = self.broker or names[0]
+        if broker not in names:
+            raise ValueError(f"broker cluster {broker!r} not in {sorted(names)}")
+        object.__setattr__(self, "broker", broker)
+        known = set(names)
+        pairs = set()
+        for edge in self.edges:
+            if edge.a not in known or edge.b not in known:
+                raise ValueError(f"edge {edge.a}-{edge.b} references unknown cluster")
+            pairs.add(frozenset((edge.a, edge.b)))
+        missing = [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1:]
+            if frozenset((a, b)) not in pairs
+        ]
+        if missing:
+            raise ValueError(
+                f"the WAN mesh must cover every cluster pair; missing {missing}"
+            )
+        for service in self.geo_services:
+            if service.home not in known:
+                raise ValueError(
+                    f"service {service.name!r} homed on unknown cluster "
+                    f"{service.home!r}"
+                )
+
+    @property
+    def lookahead_s(self) -> float:
+        """The epoch length: min latency over all inter-cluster links."""
+        return min(edge.latency_s for edge in self.edges)
+
+    def edge(self, a: str, b: str) -> WanEdgeSpec:
+        for candidate in self.edges:
+            if {candidate.a, candidate.b} == {a, b}:
+                return candidate
+        raise KeyError(f"no WAN edge between {a!r} and {b!r}")
+
+    def latency_map(self) -> Dict[tuple, float]:
+        return {(e.a, e.b): e.latency_s for e in self.edges}
+
+    def spec(self, name: str) -> ClusterSpec:
+        for cluster in self.clusters:
+            if cluster.name == name:
+                return cluster
+        raise KeyError(f"no cluster named {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# The sub-kernel: one cluster as a self-contained simulation.
+# ---------------------------------------------------------------------------
+
+class _DirectoryEntry:
+    """A shard's view of one federation service."""
+
+    __slots__ = ("host", "service_s", "request_mb", "response_mb", "ready")
+
+    def __init__(
+        self, host: str, service_s: float, request_mb: float,
+        response_mb: float, ready: bool,
+    ):
+        self.host = host
+        self.service_s = service_s
+        self.request_mb = request_mb
+        self.response_mb = response_mb
+        self.ready = ready
+
+
+class ClusterShard:
+    """One cluster's sub-kernel: LAN, hosts, fleet, and message handlers.
+
+    Everything inside a shard is a pure function of ``(spec, topology,
+    seed, inbound messages)``: the kernel is private, the RNG namespace
+    is spawned from the master seed by cluster name (stable whatever the
+    process layout), and the fluid cluster's LAN/host ledgers are
+    touched by no one else.  Outbound effects queue in :attr:`outbox`
+    as :class:`ShardMessage` values for the coordinator to route.
+    """
+
+    def __init__(self, spec: ClusterSpec, topology: FederationTopology, seed: int):
+        self.spec = spec
+        self.topology = topology
+        self.name = spec.name
+        self.sim = Simulator()
+        self.streams = RandomStreams(seed).spawn(f"shard:{spec.name}")
+        self.cluster = FluidCluster(
+            self.sim, spec.name, spec.n_hosts,
+            workers_per_host=spec.workers_per_host,
+            host_cpu_mhz=spec.host_cpu_mhz,
+        )
+        self.fleet: Optional[FluidBackgroundLoad] = None
+        if spec.background:
+            self.fleet = FluidBackgroundLoad(
+                self.sim, self.streams, [self.cluster], list(spec.background)
+            )
+        # The federation service directory (insertion-ordered: initial
+        # services in topology order, then placements in delivery order
+        # — deterministic, so RNG picks over it are too).
+        self.directory: Dict[str, _DirectoryEntry] = {}
+        for service in topology.geo_services:
+            self.directory[service.name] = _DirectoryEntry(
+                service.home, service.service_s, service.request_mb,
+                service.response_mb, True,
+            )
+        # Dispatches for services not yet known/ready here (image in
+        # flight): drained in arrival order when the image lands.
+        self._pending: Dict[str, List[tuple]] = {}
+        self._peers = tuple(
+            c.name for c in topology.clusters if c.name != spec.name
+        )
+        self.broker: Optional[GeoBroker] = None
+        if topology.broker == spec.name:
+            self.broker = GeoBroker(
+                home=spec.name,
+                latency_s=topology.latency_map(),
+                capacity={c.name: c.n_hosts for c in topology.clusters},
+            )
+            for service in topology.geo_services:
+                self.broker.seed(service.name, service.home)
+        self.outbox: List[ShardMessage] = []
+        self._msg_seq = 0
+        self._handlers = {
+            "dispatch": self._on_dispatch,
+            "reply": self._on_reply,
+            "place": self._on_place,
+            "placed": self._on_placed,
+            "xfer": self._on_xfer,
+        }
+        # Accounting (exact floats; folded into the digest).
+        self.issued_local = 0
+        self.issued_remote = 0
+        self.served_remote = 0
+        self.replied = 0
+        self.latency_local_sum = 0.0
+        self.latency_remote_sum = 0.0
+        self.msgs_sent = 0
+        self.msgs_received = 0
+        self._classify_s = CLASSIFY_MCYCLES / spec.host_cpu_mhz
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, duration_s: float) -> None:
+        """Spawn the shard's driving processes (call once, at t=0)."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        if self.fleet is not None:
+            self.fleet.start(duration_s)
+        if self.spec.geo_rps > 0:
+            self.sim.process(
+                self._geo_client(duration_s), name=f"geo:{self.name}"
+            )
+        if self.spec.n_placements > 0:
+            self.sim.process(
+                self._placement_client(duration_s), name=f"place:{self.name}"
+            )
+
+    def advance(self, horizon: float) -> None:
+        """Simulate up to (and including) ``horizon``, then park there."""
+        self.sim.run(until=horizon)
+
+    def deliver(self, messages: Sequence[ShardMessage]) -> None:
+        """Schedule inbound messages (pre-sorted by the coordinator)."""
+        for message in messages:
+            if message.deliver_at < self.sim.now:
+                raise RuntimeError(
+                    f"causality violation: {message.kind!r} for {self.name} "
+                    f"at {message.deliver_at} delivered at {self.sim.now} "
+                    "(lookahead bug)"
+                )
+            handler = self._handlers[message.kind]
+            self.sim.schedule_at(
+                message.deliver_at,
+                lambda handler=handler, message=message: handler(message),
+            )
+            self.msgs_received += 1
+
+    def drain_outbox(self) -> List[ShardMessage]:
+        drained, self.outbox = self.outbox, []
+        return drained
+
+    def quiet(self) -> bool:
+        """True when the shard has no pending events or outbound messages."""
+        return not self.outbox and self.sim.peek() == float("inf")
+
+    # -- message plane ------------------------------------------------------
+    def send(self, kind: str, dst: str, payload: Tuple, size_mb: float = 0.0) -> None:
+        """Queue a cross-cluster message; delivery = latency + bytes/rate."""
+        edge = self.topology.edge(self.name, dst)
+        descriptor = edge.descriptor(size_mb, label=kind)
+        self._msg_seq += 1
+        self.outbox.append(
+            ShardMessage(
+                deliver_at=descriptor.delivery_time(self.sim.now),
+                src=self.name,
+                dst=dst,
+                seq=self._msg_seq,
+                kind=kind,
+                payload=payload,
+                send_time=self.sim.now,
+            )
+        )
+        self.msgs_sent += 1
+
+    # -- workload: geo-routed demand ---------------------------------------
+    def _geo_client(self, duration_s: float) -> Generator[Event, Any, None]:
+        """Issue geo-routed request batches against the service directory."""
+        sim = self.sim
+        deadline = sim.now + duration_s
+        gap_stream = f"geo:{self.name}:gap"
+        size_stream = f"geo:{self.name}:size"
+        pick_stream = f"geo:{self.name}:pick"
+        mean_gap = self.spec.geo_mean_batch / self.spec.geo_rps
+        while True:
+            gap = self.streams.exponential(gap_stream, mean_gap)
+            if sim.now + gap > deadline:
+                return
+            yield sim.timeout(gap)
+            n = 1 + self.streams.poisson(size_stream, self.spec.geo_mean_batch - 1)
+            names = list(self.directory)
+            service = names[self.streams.choice(pick_stream, len(names))]
+            entry = self.directory[service]
+            if entry.host == self.name:
+                self._serve_local(entry, n, gap)
+            else:
+                self.issued_remote += n
+                self.send(
+                    "dispatch", entry.host, (service, n, sim.now),
+                    size_mb=n * entry.request_mb,
+                )
+
+    def _serve_local(self, entry: _DirectoryEntry, n: int, window_s: float) -> None:
+        _, mean_sojourn = self.cluster.dispatch_batch(
+            self.sim.now, n, entry.service_s, window_s
+        )
+        self.issued_local += n
+        self.latency_local_sum += n * (self._classify_s + mean_sojourn)
+
+    # -- workload: broker placement calls ------------------------------------
+    def _placement_client(self, duration_s: float) -> Generator[Event, Any, None]:
+        """Ask the global broker to place new services during the run."""
+        sim = self.sim
+        deadline = sim.now + duration_s
+        mean_gap = duration_s / (self.spec.n_placements + 1)
+        for i in range(self.spec.n_placements):
+            gap = self.streams.exponential(f"place:{self.name}:gap", mean_gap)
+            if sim.now + gap > deadline:
+                return
+            yield sim.timeout(gap)
+            service = f"svc-{self.name}-{i}"
+            if self.broker is not None:
+                # The broker lives here: a local call, not a WAN message.
+                self._handle_place(service, self.name)
+            else:
+                self.send("place", self.topology.broker, (service, self.name))
+
+    # -- message handlers (run inside the kernel at deliver_at) -------------
+    def _on_dispatch(self, message: ShardMessage) -> None:
+        service, n, origin_time = message.payload
+        entry = self.directory.get(service)
+        if entry is None or not entry.ready:
+            # Placement broadcast or image still in flight: queue; the
+            # drain replays arrival order when the service comes up.
+            self._pending.setdefault(service, []).append(
+                (message.src, n, origin_time)
+            )
+            return
+        self._serve_remote(message.src, service, entry, n, origin_time)
+
+    def _serve_remote(
+        self, origin: str, service: str, entry: _DirectoryEntry,
+        n: int, origin_time: float,
+    ) -> None:
+        completion, _ = self.cluster.dispatch_batch(
+            self.sim.now, n, entry.service_s, 0.0
+        )
+        self.served_remote += n
+        self.sim.schedule_at(
+            completion,
+            lambda: self.send(
+                "reply", origin, (service, n, origin_time),
+                size_mb=n * entry.response_mb,
+            ),
+        )
+
+    def _on_reply(self, message: ShardMessage) -> None:
+        _service, n, origin_time = message.payload
+        self.replied += n
+        self.latency_remote_sum += n * (self.sim.now - origin_time)
+
+    def _on_place(self, message: ShardMessage) -> None:
+        service, origin = message.payload
+        self._handle_place(service, origin)
+
+    def _handle_place(self, service: str, origin: str) -> None:
+        """Broker-side placement: decide, broadcast, push the image."""
+        assert self.broker is not None, "place call reached a non-broker shard"
+        host = self.broker.place(service, origin)
+        for peer in self._peers:
+            self.send("placed", peer, (service, host))
+        # The broker cluster hosts the image repository: remote hosts
+        # serve only once the image crosses the WAN ("xfer"), but the
+        # broker itself may route there immediately — early dispatches
+        # wait in the host's pending queue behind the image.
+        self._install(service, host, ready=True)
+        if host != self.name:
+            self.send("xfer", host, (service,), size_mb=self.topology.image_mb)
+
+    def _on_placed(self, message: ShardMessage) -> None:
+        service, host = message.payload
+        # The hosting shard serves only after the image lands ("xfer" —
+        # strictly later than this broadcast on the same edge); everyone
+        # else may route to the service immediately.
+        self._install(service, host, ready=host != self.name)
+
+    def _install(self, service: str, host: str, ready: bool) -> None:
+        topology = self.topology
+        self.directory[service] = _DirectoryEntry(
+            host, topology.placed_service_s, topology.placed_request_mb,
+            topology.placed_response_mb, ready,
+        )
+        if ready:
+            self._drain_pending(service)
+
+    def _on_xfer(self, message: ShardMessage) -> None:
+        (service,) = message.payload
+        entry = self.directory[service]
+        entry.ready = True
+        self._drain_pending(service)
+
+    def _drain_pending(self, service: str) -> None:
+        entry = self.directory[service]
+        for origin, n, origin_time in self._pending.pop(service, ()):
+            self._serve_remote(origin, service, entry, n, origin_time)
+
+    # -- results -------------------------------------------------------------
+    def digest(self) -> Dict[str, Any]:
+        """Everything observable, exact floats — the determinism pin."""
+        return {
+            "events": self.sim.events_scheduled,
+            "fluid": self.fleet.report.digest() if self.fleet is not None else None,
+            "geo": (
+                self.issued_local, self.issued_remote, self.served_remote,
+                self.replied, self.latency_local_sum, self.latency_remote_sum,
+            ),
+            "directory": tuple(
+                (name, entry.host, entry.ready)
+                for name, entry in sorted(self.directory.items())
+            ),
+            "placements": (
+                tuple(sorted(self.broker.placements.items()))
+                if self.broker is not None
+                else None
+            ),
+            "msgs": (self.msgs_sent, self.msgs_received),
+            "pending": sum(len(queue) for queue in self._pending.values()),
+            "cluster": (
+                self.cluster.total_served, float(self.cluster.busy_s.sum()),
+            ),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The epoch coordinator: serial in-process or sharded across workers.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FederationRun:
+    """Result of one federated run (any worker count)."""
+
+    digests: Dict[str, Dict[str, Any]]
+    n_workers: int
+    wall_s: float
+    epochs: int
+    messages: int
+    lookahead_s: float
+    worker_busy_s: List[float] = field(default_factory=list)
+    #: Sum over epochs of the slowest worker's CPU time: the wall time
+    #: the barrier structure would cost on dedicated cores.
+    critical_path_s: float = 0.0
+    #: Fraction of worker-slots spent waiting at barriers for the
+    #: slowest worker (load imbalance; 0.0 for the in-process serial run).
+    barrier_stall_fraction: float = 0.0
+
+    @property
+    def msgs_per_epoch(self) -> float:
+        return self.messages / self.epochs if self.epochs else 0.0
+
+    @property
+    def digest_sha(self) -> str:
+        """A stable hash over the exact per-cluster digests."""
+        canonical = repr(
+            [(name, self.digests[name]) for name in sorted(self.digests)]
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def total_requests(self) -> int:
+        total = 0
+        for digest in self.digests.values():
+            fluid = digest["fluid"]
+            if fluid is not None:
+                total += sum(s[0] for s in fluid["services"].values())
+            geo = digest["geo"]
+            total += geo[0] + geo[1]  # local + remote issued
+        return total
+
+
+def _route(messages: List[ShardMessage]) -> Dict[str, List[ShardMessage]]:
+    """Sort globally by the stable sequence key, then split by destination."""
+    routed: Dict[str, List[ShardMessage]] = {}
+    for message in sorted(messages, key=lambda m: m.sort_key):
+        routed.setdefault(message.dst, []).append(message)
+    return routed
+
+
+def _epoch_guard(duration_s: float, epoch_s: float) -> int:
+    return 4 * (int(duration_s / epoch_s) + 64)
+
+
+def run_federation(
+    topology: FederationTopology,
+    duration_s: float,
+    seed: int = 0,
+    n_workers: int = 1,
+) -> FederationRun:
+    """Run the federated topology to quiescence; any worker count.
+
+    ``n_workers == 1`` runs every shard in-process (the single-process
+    reference execution).  ``n_workers > 1`` assigns shards round-robin
+    to persistent worker processes and exchanges messages through the
+    coordinator at every epoch barrier.  Digests are bit-identical
+    across worker counts by construction (see the module docstring).
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    n_workers = min(n_workers, len(topology.clusters))
+    if n_workers == 1:
+        return _run_serial(topology, duration_s, seed)
+    return _run_parallel(topology, duration_s, seed, n_workers)
+
+
+def _run_serial(
+    topology: FederationTopology, duration_s: float, seed: int
+) -> FederationRun:
+    started = time.perf_counter()
+    shards = {
+        spec.name: ClusterShard(spec, topology, seed)
+        for spec in topology.clusters
+    }
+    order = sorted(shards)
+    for name in order:
+        shards[name].start(duration_s)
+    epoch_s = topology.lookahead_s
+    guard = _epoch_guard(duration_s, epoch_s)
+    horizon = 0.0
+    epochs = 0
+    messages = 0
+    inflight: List[ShardMessage] = []
+    while True:
+        horizon += epoch_s
+        routed = _route(inflight)
+        for name in order:
+            shards[name].deliver(routed.get(name, ()))
+        for name in order:
+            shards[name].advance(horizon)
+        inflight = []
+        for name in order:
+            inflight.extend(shards[name].drain_outbox())
+        messages += len(inflight)
+        epochs += 1
+        if (
+            horizon >= duration_s
+            and not inflight
+            and all(shards[name].quiet() for name in order)
+        ):
+            break
+        if epochs > guard:
+            raise RuntimeError(
+                f"federation failed to quiesce within {guard} epochs "
+                f"(horizon {horizon:.3f}s); check for self-sustaining "
+                "message loops"
+            )
+    wall = time.perf_counter() - started
+    return FederationRun(
+        digests={name: shards[name].digest() for name in order},
+        n_workers=1,
+        wall_s=wall,
+        epochs=epochs,
+        messages=messages,
+        lookahead_s=epoch_s,
+        worker_busy_s=[wall],
+        critical_path_s=wall,
+        barrier_stall_fraction=0.0,
+    )
+
+
+def _worker_main(conn, specs, topology, seed, duration_s) -> None:
+    """A persistent sub-kernel worker: owns its shards across epochs."""
+    shards = {spec.name: ClusterShard(spec, topology, seed) for spec in specs}
+    order = sorted(shards)
+    for name in order:
+        shards[name].start(duration_s)
+    try:
+        while True:
+            command = conn.recv()
+            verb = command[0]
+            if verb == "advance":
+                _, horizon, inbound = command
+                began = time.process_time()
+                outbox: List[ShardMessage] = []
+                for name in order:
+                    shards[name].deliver(inbound.get(name, ()))
+                for name in order:
+                    shards[name].advance(horizon)
+                for name in order:
+                    outbox.extend(shards[name].drain_outbox())
+                busy = time.process_time() - began
+                quiet = all(shards[name].quiet() for name in order)
+                conn.send((outbox, busy, quiet))
+            elif verb == "digest":
+                conn.send({name: shards[name].digest() for name in order})
+            elif verb == "stop":
+                break
+    finally:
+        conn.close()
+
+
+def _run_parallel(
+    topology: FederationTopology, duration_s: float, seed: int, n_workers: int
+) -> FederationRun:
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    started = time.perf_counter()
+    names = sorted(spec.name for spec in topology.clusters)
+    assignment: List[List[ClusterSpec]] = [[] for _ in range(n_workers)]
+    for index, name in enumerate(names):
+        assignment[index % n_workers].append(topology.spec(name))
+    owners = {
+        spec.name: worker
+        for worker, specs in enumerate(assignment)
+        for spec in specs
+    }
+    pipes = []
+    workers = []
+    try:
+        for specs in assignment:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, specs, topology, seed, duration_s),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            pipes.append(parent_conn)
+            workers.append(process)
+
+        epoch_s = topology.lookahead_s
+        guard = _epoch_guard(duration_s, epoch_s)
+        horizon = 0.0
+        epochs = 0
+        messages = 0
+        inflight: List[ShardMessage] = []
+        busy_totals = [0.0] * n_workers
+        critical_path = 0.0
+        stall = 0.0
+        while True:
+            horizon += epoch_s
+            routed = _route(inflight)
+            for worker, specs in enumerate(assignment):
+                inbound = {
+                    spec.name: routed.get(spec.name, []) for spec in specs
+                }
+                pipes[worker].send(("advance", horizon, inbound))
+            inflight = []
+            busies = []
+            all_quiet = True
+            for worker in range(n_workers):
+                outbox, busy, quiet = pipes[worker].recv()
+                inflight.extend(outbox)
+                busies.append(busy)
+                busy_totals[worker] += busy
+                all_quiet = all_quiet and quiet
+            slowest = max(busies)
+            critical_path += slowest
+            stall += sum(slowest - busy for busy in busies)
+            messages += len(inflight)
+            epochs += 1
+            if horizon >= duration_s and not inflight and all_quiet:
+                break
+            if epochs > guard:
+                raise RuntimeError(
+                    f"federation failed to quiesce within {guard} epochs "
+                    f"(horizon {horizon:.3f}s); check for self-sustaining "
+                    "message loops"
+                )
+
+        digests: Dict[str, Dict[str, Any]] = {}
+        for worker in range(n_workers):
+            pipes[worker].send(("digest",))
+        for worker in range(n_workers):
+            digests.update(pipes[worker].recv())
+        for worker in range(n_workers):
+            pipes[worker].send(("stop",))
+    finally:
+        for pipe in pipes:
+            pipe.close()
+        for process in workers:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+    wall = time.perf_counter() - started
+    denominator = n_workers * critical_path
+    return FederationRun(
+        digests={name: digests[name] for name in sorted(digests)},
+        n_workers=n_workers,
+        wall_s=wall,
+        epochs=epochs,
+        messages=messages,
+        lookahead_s=topology.lookahead_s,
+        worker_busy_s=busy_totals,
+        critical_path_s=critical_path,
+        barrier_stall_fraction=stall / denominator if denominator else 0.0,
+    )

@@ -146,6 +146,27 @@ def test_batching_rejects_the_failover_engine(testbed):
         record.switch.enable_batching()
 
 
+def test_failover_engine_rejects_batching_both_ways(testbed):
+    """The reverse direction: installing retry/timeout while batching
+    is enabled raises at configuration time (not at serve time)."""
+    _, record = create_service(testbed, n=2)
+    record.switch.enable_batching()
+    with pytest.raises(ValueError, match="incompatible"):
+        record.switch.retry_policy = BackoffPolicy(max_attempts=2)
+    with pytest.raises(ValueError, match="incompatible"):
+        record.switch.request_timeout_s = 1.0
+    # The failed assignments left nothing behind.
+    assert record.switch.retry_policy is None
+    assert record.switch.request_timeout_s is None
+    # Clearing (None) is always allowed, and disabling batching
+    # reopens the failover path.
+    record.switch.retry_policy = None
+    record.switch.disable_batching()
+    record.switch.retry_policy = BackoffPolicy(max_attempts=2)
+    record.switch.request_timeout_s = 1.0
+    assert record.switch.retry_policy is not None
+
+
 def test_disable_batching_restores_the_plain_path(testbed):
     _, record = create_service(testbed, n=2)
     client = testbed.add_client("client-1")
