@@ -298,6 +298,7 @@ def bench_federated_parallel_throughput() -> Dict[str, float]:
     import os
 
     from repro.experiments.federation_scale import build_topology
+    from repro.obs.federation import FederationObservability
     from repro.sim.parallel import run_federation
 
     topology = build_topology(
@@ -315,6 +316,14 @@ def bench_federated_parallel_throughput() -> Dict[str, float]:
         assert run.digest_sha == serial.digest_sha, (
             f"digest mismatch at {n_workers} workers"
         )
+    # One serial arm with the full federation observability stack on —
+    # observe-never-perturb means the digest must not move, and the
+    # wall-clock ratio is the stack's measured overhead.
+    observed = run_federation(
+        topology, duration_s=duration_s, seed=0, n_workers=1,
+        obs=FederationObservability(),
+    )
+    assert observed.digest_sha == serial.digest_sha, "obs perturbed the digest"
     four = runs[4]
     try:
         cores = len(os.sched_getaffinity(0))
@@ -334,6 +343,9 @@ def bench_federated_parallel_throughput() -> Dict[str, float]:
         "barrier_stall_fraction_4w": round(four.barrier_stall_fraction, 3),
         "critical_path_4w_s": round(four.critical_path_s, 4),
         "projected_speedup_4w_x": round(serial.wall_s / four.critical_path_s, 2),
+        "wall_serial_obs_s": round(observed.wall_s, 4),
+        "obs_overhead_x": round(observed.wall_s / serial.wall_s, 3),
+        "obs_spans": len(observed.observability.spans),
         "digest_match": 1,
         "cores": cores,
     }

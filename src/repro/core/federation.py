@@ -99,6 +99,20 @@ class GeoBroker:
         self.capacity = dict(capacity)
         self.placements: Dict[str, str] = {}  # service -> hosting cluster
         self.load: Dict[str, int] = {name: 0 for name in capacity}
+        self._placements_metric = None
+
+    def instrument(self, registry) -> "GeoBroker":
+        """Count placement decisions in ``registry``, by chosen cluster.
+
+        Observe-only: the counter never feeds back into :meth:`place`,
+        so instrumented and bare brokers decide identically.
+        """
+        self._placements_metric = registry.counter(
+            "soda_broker_placements_total",
+            "Broker placement decisions, by chosen hosting cluster.",
+            ("cluster",),
+        )
+        return self
 
     def latency(self, a: str, b: str) -> float:
         """One-way WAN latency between two clusters (0 for a == b)."""
@@ -139,6 +153,8 @@ class GeoBroker:
         )
         self.placements[service] = chosen
         self.load[chosen] += 1
+        if self._placements_metric is not None:
+            self._placements_metric.inc(cluster=chosen)
         return chosen
 
 

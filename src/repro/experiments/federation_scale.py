@@ -16,13 +16,26 @@ directories, broker placements) are **bit-identical** whatever the
 process layout.  Conservation checks close the message plane's books:
 every remotely-issued request is served exactly once and replied
 exactly once, and every sent message is received.
+
+Each worker count also runs with federation-wide observability
+(:class:`~repro.obs.federation.FederationObservability`) enabled, which
+pins the observe-never-perturb contract at federation scale: the
+obs-on digest equals the obs-off digest at every worker count, and the
+reassembled cross-shard traces are byte-identical whatever the process
+layout.  When an ambient :class:`~repro.obs.Observability` hub is
+active (``--trace-out`` / ``--metrics-out``), the merged spans, the
+federated metrics, and the epoch critical-path profile are deposited on
+it so the runner writes them next to the usual artefacts.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 
+import repro.obs as obs_hub
 from repro.metrics.report import ExperimentResult
+from repro.obs.federation import FederationObservability, trace_completeness
 from repro.sim.fluid import FluidServiceSpec
 from repro.sim.parallel import (
     ClusterSpec,
@@ -135,6 +148,63 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
             tolerance_rel=0.0,
         )
 
+    # Observability arms: the same runs with tracing + metrics + the
+    # critical-path profiler on.  Observe-never-perturb means the
+    # digests must not move, and deterministic namespaced span ids mean
+    # the reassembled federation-wide traces must be byte-identical
+    # across process layouts.
+    obs_runs = {}
+    for n_workers in worker_counts:
+        obs_run = run_federation(
+            topology, duration_s=duration_s, seed=seed, n_workers=n_workers,
+            obs=FederationObservability(),
+        )
+        obs_runs[n_workers] = obs_run
+        result.compare(
+            f"obs-on digest parity, {n_workers} workers", 1.0,
+            1.0 if obs_run.digest_sha == runs[n_workers].digest_sha else 0.0,
+            tolerance_rel=0.0,
+            note="observability must not perturb the simulation",
+        )
+    obs_reference = obs_runs[worker_counts[0]].observability
+    reference_spans = json.dumps(obs_reference.spans, sort_keys=True)
+    for n_workers in worker_counts[1:]:
+        spans = json.dumps(obs_runs[n_workers].observability.spans, sort_keys=True)
+        result.compare(
+            f"merged trace byte-identity, {n_workers} workers", 1.0,
+            1.0 if spans == reference_spans else 0.0,
+            tolerance_rel=0.0,
+            note="shard-namespaced span ids make layout unobservable",
+        )
+    stats = trace_completeness(obs_reference.spans)
+    result.compare(
+        "spans dropped across all shards", 0.0,
+        float(sum(r.observability.spans_dropped for r in obs_runs.values())),
+        tolerance_rel=0.0,
+    )
+    result.compare(
+        "orphan parent references in merged traces", 0.0,
+        float(stats["orphan_parents"]), tolerance_rel=0.0,
+    )
+    result.compare(
+        "spans left open at end of run", 0.0,
+        float(stats["open_spans"]), tolerance_rel=0.0,
+    )
+
+    # Deposit the federated artefacts on the ambient hub (if any) so
+    # `soda-experiments run federation-scale --trace-out/--metrics-out`
+    # writes spans/metrics/fedprofile files the soda-obs CLI can read.
+    hub = obs_hub.active()
+    if hub is not None:
+        fed = obs_runs[worker_counts[-1]].observability
+        if hub.tracer is not None:
+            for span in fed.spans:
+                hub.tracer.adopt(span)
+        if hub.registry is not None:
+            fed.metrics.merge_into(hub.registry)
+        if fed.profiler is not None:
+            hub.artifacts["fedprofile"] = fed.profiler.to_payload()
+
     # Message-plane conservation, from the single-process digests.
     issued_remote = sum(d["geo"][1] for d in reference.digests.values())
     served_remote = sum(d["geo"][2] for d in reference.digests.values())
@@ -190,6 +260,9 @@ def run(seed: int = 0, fast: bool = False) -> ExperimentResult:
         f"{tuple(worker_counts)} — the conservative epoch barrier "
         "(global sort by deliver-time, sender, sequence) makes the "
         "process layout unobservable.  Wall times on this host share "
-        "one core; see BENCH for the critical-path projection."
+        "one core; see BENCH for the critical-path projection.  "
+        f"Observability on: digests unchanged, {stats['spans']} spans in "
+        f"{stats['traces']} federation-wide traces reassembled "
+        "byte-identically at every worker count."
     )
     return result

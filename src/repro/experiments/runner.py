@@ -24,6 +24,7 @@ these flags.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import traceback
@@ -133,6 +134,13 @@ def _run_observed(
         os.makedirs(trace_out, exist_ok=True)
         hub.write_spans(os.path.join(trace_out, f"{stem}.spans.json"))
         hub.write_chrome_trace(os.path.join(trace_out, f"{stem}.chrome.json"))
+        # Extra documents experiments deposited on the hub (e.g. the
+        # federation critical-path profile as {stem}.fedprofile.json).
+        for key in sorted(hub.artifacts):
+            path = os.path.join(trace_out, f"{stem}.{key}.json")
+            with open(path, "w") as handle:
+                json.dump(hub.artifacts[key], handle, indent=1)
+                handle.write("\n")
     if metrics_out is not None:
         os.makedirs(metrics_out, exist_ok=True)
         hub.write_prometheus(os.path.join(metrics_out, f"{stem}.prom"))

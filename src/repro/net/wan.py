@@ -91,6 +91,21 @@ class WanTransferDescriptor:
         """When the last byte lands, for a send at ``send_time``."""
         return send_time + self.lookahead_s + self.transfer_s
 
+    def segments(self, send_time: float) -> dict:
+        """The hop as trace-span material, for a send at ``send_time``.
+
+        The returned interval ``[start, end]`` has duration exactly
+        ``latency_s + transfer_s``, so ``wan_transfer`` spans built from
+        it tile the end-to-end path of a federated trace to 1e-9 (see
+        :mod:`repro.obs.federation`).
+        """
+        return {
+            "start": send_time,
+            "end": self.delivery_time(send_time),
+            "latency_s": self.lookahead_s,
+            "transfer_s": self.transfer_s,
+        }
+
 
 class WanTransfer:
     """One cross-LAN transfer; ``done`` fires when the last byte lands."""

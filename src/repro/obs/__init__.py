@@ -46,10 +46,21 @@ from repro.obs.export import (
     breakdown_table,
     chrome_trace,
     flame_summary,
+    load_federation_profile,
     load_spans_json,
     spans_payload,
     write_chrome_trace,
+    write_federation_profile,
     write_spans_json,
+)
+from repro.obs.federation import (
+    FederatedMetrics,
+    FederationObsResult,
+    FederationObservability,
+    FederationProfiler,
+    TraceContext,
+    merge_shard_spans,
+    trace_completeness,
 )
 from repro.obs.metrics import (
     Counter,
@@ -83,8 +94,17 @@ __all__ = [
     "write_spans_json",
     "spans_payload",
     "load_spans_json",
+    "write_federation_profile",
+    "load_federation_profile",
     "flame_summary",
     "breakdown_table",
+    "TraceContext",
+    "FederationObservability",
+    "FederatedMetrics",
+    "FederationProfiler",
+    "FederationObsResult",
+    "merge_shard_spans",
+    "trace_completeness",
 ]
 
 #: Stack of ambiently activated hubs; newest wins.
@@ -118,6 +138,10 @@ class Observability:
         )
         self.registry: Optional[MetricsRegistry] = MetricsRegistry() if metrics else None
         self.profiler: Optional[KernelProfiler] = KernelProfiler() if profile else None
+        #: Extra JSON-ready documents experiments deposit for the runner
+        #: to write next to the span/metric files (e.g. the federation
+        #: profile under the key ``"fedprofile"``).
+        self.artifacts: dict = {}
 
     # -- attachment ---------------------------------------------------------
     def attach(self, sim) -> None:

@@ -1,13 +1,18 @@
 """``soda-obs``: inspect observability artefacts from the command line.
 
-Three subcommands over files the experiments runner (or an example)
-wrote:
+Subcommands over files the experiments runner (or an example) wrote:
 
 * ``soda-obs trace-summary run.spans.json`` — the flame table plus
   per-request counts for a ``soda-spans/1`` file.
 * ``soda-obs chrome-export run.spans.json -o run.chrome.json`` —
   convert spans to Chrome trace-event JSON (open in Perfetto or
-  ``chrome://tracing``).
+  ``chrome://tracing``).  With ``--federated`` the input is a
+  ``soda-fedprofile/1`` document instead, and the export is the
+  multi-lane federation timeline (one lane per shard, epoch barriers
+  as instant events).
+* ``soda-obs federation-summary run.fedprofile.json`` — the epoch
+  critical-path report: per-worker compute vs barrier stall, the
+  critical path, and the achievable-speedup bound.
 * ``soda-obs metrics-dump run.prom [--grep switch]`` — validate and
   print a Prometheus text dump, optionally filtered.
 """
@@ -19,7 +24,13 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.obs.export import chrome_trace, flame_summary, load_spans_json
+from repro.obs.export import (
+    chrome_trace,
+    flame_summary,
+    load_federation_profile,
+    load_spans_json,
+)
+from repro.obs.federation import FederationProfiler
 
 __all__ = ["main"]
 
@@ -40,18 +51,38 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_out(path: str, suffix: str) -> str:
+    # "x.spans.json" -> "x.chrome.json", but "x.fedprofile.json" ->
+    # "x.fedprofile.chrome.json" — the two exports of one run must not
+    # collide on a default name.
+    for known in (".spans.json", ".json"):
+        if path.endswith(known):
+            return path[: -len(known)] + suffix
+    return path + suffix
+
+
 def _cmd_chrome_export(args: argparse.Namespace) -> int:
-    spans = load_spans_json(args.spans)
-    trace = chrome_trace(spans)
-    out = args.out or (
-        args.spans[: -len(".spans.json")] + ".chrome.json"
-        if args.spans.endswith(".spans.json")
-        else args.spans + ".chrome.json"
-    )
+    if args.federated:
+        profiler = FederationProfiler.from_payload(
+            load_federation_profile(args.spans)
+        )
+        trace = profiler.chrome_trace()
+    else:
+        trace = chrome_trace(load_spans_json(args.spans))
+    out = args.out or _default_out(args.spans, ".chrome.json")
     with open(out, "w") as handle:
         json.dump(trace, handle, indent=1)
         handle.write("\n")
     print(f"wrote {out} ({len(trace['traceEvents'])} events)")
+    return 0
+
+
+def _cmd_federation_summary(args: argparse.Namespace) -> int:
+    profiler = FederationProfiler.from_payload(
+        load_federation_profile(args.profile)
+    )
+    print(f"{args.profile}:")
+    print(profiler.render())
     return 0
 
 
@@ -95,8 +126,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     summary.add_argument("--top", type=int, default=0, help="keep only the top N rows")
 
     chrome = sub.add_parser("chrome-export", help="convert spans to Chrome trace JSON")
-    chrome.add_argument("spans", help="a soda-spans/1 JSON file")
+    chrome.add_argument(
+        "spans", help="a soda-spans/1 file (or soda-fedprofile/1 with --federated)"
+    )
     chrome.add_argument("-o", "--out", default=None, help="output path")
+    chrome.add_argument(
+        "--federated",
+        action="store_true",
+        help="input is a soda-fedprofile/1 document; export the "
+        "multi-lane federation timeline",
+    )
+
+    federation = sub.add_parser(
+        "federation-summary",
+        help="critical-path report for a soda-fedprofile/1 file",
+    )
+    federation.add_argument("profile", help="a soda-fedprofile/1 JSON file")
 
     dump = sub.add_parser("metrics-dump", help="validate/print a Prometheus dump")
     dump.add_argument("metrics", help="a Prometheus text exposition file")
@@ -107,6 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace_summary(args)
     if args.command == "chrome-export":
         return _cmd_chrome_export(args)
+    if args.command == "federation-summary":
+        return _cmd_federation_summary(args)
     return _cmd_metrics_dump(args)
 
 

@@ -22,13 +22,17 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Sequence, Union
 
+from repro.obs.federation import FEDPROFILE_FORMAT
 from repro.obs.tracing import Span
 
 __all__ = [
     "SPANS_FORMAT",
+    "FEDPROFILE_FORMAT",
     "spans_payload",
     "write_spans_json",
     "load_spans_json",
+    "write_federation_profile",
+    "load_federation_profile",
     "chrome_trace",
     "write_chrome_trace",
     "flame_summary",
@@ -68,6 +72,31 @@ def load_spans_json(path: str) -> List[Dict[str, Any]]:
     if not isinstance(spans, list):
         raise ValueError(f"{path}: missing span list")
     return spans
+
+
+# -- federation profile documents -------------------------------------------
+
+
+def write_federation_profile(path: str, payload: Dict[str, Any]) -> None:
+    """Write a ``soda-fedprofile/1`` document (see
+    :meth:`repro.obs.federation.FederationProfiler.to_payload`)."""
+    if not isinstance(payload, dict) or payload.get("format") != FEDPROFILE_FORMAT:
+        raise ValueError(f"{path}: payload is not a {FEDPROFILE_FORMAT} document")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def load_federation_profile(path: str) -> Dict[str, Any]:
+    """Load and validate a ``soda-fedprofile/1`` document."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("format") != FEDPROFILE_FORMAT:
+        raise ValueError(f"{path}: not a {FEDPROFILE_FORMAT} document")
+    for key in ("epoch_s", "shard_worker", "epochs"):
+        if key not in payload:
+            raise ValueError(f"{path}: missing {key!r}")
+    return payload
 
 
 # -- Chrome trace-event format ---------------------------------------------

@@ -273,6 +273,44 @@ class MetricsRegistry:
                 out[metric.name] = {k: c.value for k, c in metric.samples()}  # type: ignore[union-attr]
         return out
 
+    def dump(self) -> List[Dict[str, object]]:
+        """A picklable, registry-free snapshot of every family.
+
+        The shard→coordinator wire format for metrics federation: plain
+        lists/dicts/numbers only, so it crosses a multiprocessing pipe
+        and merges via :class:`repro.obs.federation.FederatedMetrics`
+        without importing this module on the far side.  Children are
+        sorted (via :meth:`_Metric.samples`) for deterministic merges.
+        """
+        out: List[Dict[str, object]] = []
+        for metric in self.collect():
+            family: Dict[str, object] = {
+                "name": metric.name,
+                "help": metric.help,
+                "kind": metric.kind,
+                "labels": list(metric.label_names),
+            }
+            if isinstance(metric, Histogram):
+                family["buckets"] = list(metric.buckets)
+                family["children"] = [
+                    (
+                        list(key),
+                        {
+                            "counts": list(child.counts),  # type: ignore[union-attr]
+                            "sum": child.sum,  # type: ignore[union-attr]
+                            "count": child.count,  # type: ignore[union-attr]
+                        },
+                    )
+                    for key, child in metric.samples()
+                ]
+            else:
+                family["children"] = [
+                    (list(key), child.value)  # type: ignore[union-attr]
+                    for key, child in metric.samples()
+                ]
+            out.append(family)
+        return out
+
     def render(self) -> str:
         """Prometheus text exposition (see :mod:`repro.obs.prometheus`)."""
         from repro.obs.prometheus import render

@@ -55,8 +55,17 @@ class KernelProfiler:
         self._site_cache: Dict[str, str] = {}
 
     # -- kernel-facing API (called from the profiled loop) -------------------
-    def install(self, sim) -> "KernelProfiler":
-        """Attach to ``sim``; subsequent runs use the profiled loop."""
+    def install(self, sim, reset: bool = False) -> "KernelProfiler":
+        """Attach to ``sim``; subsequent runs use the profiled loop.
+
+        Statistics **accumulate** across ``run(until=...)`` resumptions
+        and re-installs — a federated shard advancing in epoch slices
+        profiles the whole run, not the last slice.  Pass ``reset=True``
+        (or call :meth:`reset`) to zero the site stats and heap
+        high-water explicitly.
+        """
+        if reset:
+            self.reset()
         sim.set_profiler(self)
         return self
 
@@ -121,12 +130,16 @@ class KernelProfiler:
             )
         return "\n".join(lines)
 
-    def clear(self) -> None:
+    def reset(self) -> None:
+        """Zero all statistics: site stats, totals, heap high-water."""
         self.sites.clear()
         self._site_cache.clear()
         self.events_total = 0
         self.wall_s_total = 0.0
         self.heap_high_water = 0
+
+    # Backwards-compatible alias (pre-federation name).
+    clear = reset
 
 
 def profiler_of(sim) -> Optional[KernelProfiler]:

@@ -26,6 +26,17 @@ numbers (never ``uuid4``/``Date.now``-style wall-clock material), so a
 seeded run produces bit-identical traces.  Timestamps are simulated
 seconds.
 
+Federated runs (:mod:`repro.sim.parallel`) give each shard its own
+tracer constructed with a ``namespace`` — the shard name — and IDs
+become zero-padded strings like ``"us-east:00000042"``.  Because each
+shard's sequence depends only on its own deterministic event order,
+namespaced IDs are stable across process layouts, and the zero padding
+makes lexical order equal creation order so the reassembled federation
+trace set (:func:`repro.obs.federation.merge_shard_spans`) is
+bit-identical across worker counts.  A remote parent crosses the
+process boundary as a :class:`repro.obs.federation.TraceContext`;
+``start_span`` accepts it anywhere a :class:`Span` parent is accepted.
+
 Observes-never-perturbs: starting or finishing a span touches no
 simulated state and schedules no events.  With no tracer attached,
 instrumentation sites cost one attribute lookup.
@@ -155,15 +166,23 @@ class RequestTracer:
     :class:`repro.sim.trace.Tracer`.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(self, capacity: Optional[int] = None, namespace: Optional[str] = None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.namespace = namespace
         self._spans: Deque[Span] = deque(maxlen=capacity)
         self.dropped = 0
         self.epoch = 0
         self._next_trace = 0
         self._next_span = 0
+
+    def _id(self, n: int):
+        """Sequence number ``n`` as an ID: a plain int, or — namespaced —
+        a zero-padded string whose lexical order is creation order."""
+        if self.namespace is None:
+            return n
+        return f"{self.namespace}:{n:08d}"
 
     # -- session management -------------------------------------------------
     def begin_epoch(self) -> int:
@@ -181,23 +200,60 @@ class RequestTracer:
         name: str,
         lane: str,
         start: float,
-        parent: Optional[Span] = None,
+        parent: Optional[Any] = None,
         **attrs: Any,
     ) -> Span:
-        """Open a span; with ``parent=None`` it roots a new trace."""
+        """Open a span; with ``parent=None`` it roots a new trace.
+
+        ``parent`` is a local :class:`Span` or any object carrying
+        ``trace_id``/``span_id`` — e.g. a remote
+        :class:`repro.obs.federation.TraceContext` that rode a
+        cross-shard message.
+        """
         self._next_span += 1
         if parent is None:
             self._next_trace += 1
-            context = SpanContext(self._next_trace, self._next_span, None)
+            context = SpanContext(self._id(self._next_trace), self._id(self._next_span), None)
+        elif isinstance(parent, Span):
+            context = SpanContext(
+                parent.context.trace_id, self._id(self._next_span), parent.context.span_id
+            )
         else:
             context = SpanContext(
-                parent.context.trace_id, self._next_span, parent.context.span_id
+                parent.trace_id, self._id(self._next_span), parent.span_id
             )
         span = Span(context, name, lane, start, self.epoch, attrs or None)
+        self._append(span)
+        return span
+
+    def adopt(self, span) -> Span:
+        """Append an externally-built span (federated reassembly).
+
+        Accepts a :class:`Span` or its :meth:`Span.to_dict` form; the
+        span keeps its original IDs and counts against ``capacity`` like
+        any locally-created span.
+        """
+        if isinstance(span, dict):
+            context = SpanContext(span["trace"], span["span"], span.get("parent"))
+            adopted = Span(
+                context,
+                span["name"],
+                span["lane"],
+                span["start"],
+                span.get("epoch", self.epoch),
+                dict(span["attrs"]) if span.get("attrs") else None,
+            )
+            if span.get("end") is not None:
+                adopted.finish(span["end"], span.get("status", STATUS_OK))
+        else:
+            adopted = span
+        self._append(adopted)
+        return adopted
+
+    def _append(self, span: Span) -> None:
         if self.capacity is not None and len(self._spans) == self.capacity:
             self.dropped += 1
         self._spans.append(span)
-        return span
 
     # -- queries ------------------------------------------------------------
     def spans(self) -> List[Span]:

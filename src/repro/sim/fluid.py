@@ -60,6 +60,7 @@ from typing import Any, Dict, Generator, List, Optional
 import numpy as np
 
 from repro.net.lan import LAN
+from repro.obs.metrics import registry_of
 from repro.sim.kernel import Event, Simulator
 from repro.sim.rng import RandomStreams
 
@@ -384,6 +385,10 @@ class FluidBackgroundLoad:
         self.report = FluidReport(mode=fidelity)
         self._inflight = 0
         self._drained: Optional[Event] = None
+        # Metrics instrumentation, cached per attached registry (the
+        # registry may be attached to the sim after this load exists).
+        self._obs_registry = None
+        self._obs_metrics = None
 
     @property
     def n_hosts(self) -> int:
@@ -515,6 +520,47 @@ class FluidBackgroundLoad:
             + (outbound.elapsed - prop) / n + prop
         )
         self.report.record_batch(spec, n, mean_latency, spec.service_s)
+        self._record_metrics(spec, cluster, n, mean_sojourn)
         self._inflight -= 1
         if self._inflight == 0 and self._drained is not None:
             self._drained.succeed()
+
+    def _record_metrics(
+        self,
+        spec: FluidServiceSpec,
+        cluster: FluidCluster,
+        n: int,
+        mean_sojourn: float,
+    ) -> None:
+        """Metrics parity with the discrete path (observe, never perturb).
+
+        Request volume reuses the discrete switch counter name — the
+        semantics match (requests completing a serving path, by outcome)
+        — while batch count and mean host sojourn are fluid-specific.
+        """
+        registry = registry_of(self.sim)
+        if registry is None:
+            return
+        if self._obs_registry is not registry:
+            self._obs_registry = registry
+            self._obs_metrics = (
+                registry.counter(
+                    "soda_switch_requests_total",
+                    "Requests seen by a service switch, by outcome.",
+                    ("service", "outcome"),
+                ),
+                registry.counter(
+                    "soda_fluid_batches_total",
+                    "Fluid arrival batches completed, per service and cluster.",
+                    ("service", "cluster"),
+                ),
+                registry.gauge(
+                    "soda_fluid_mean_sojourn_seconds",
+                    "Mean host sojourn of the latest fluid batch.",
+                    ("service", "cluster"),
+                ),
+            )
+        requests, batches, sojourn = self._obs_metrics
+        requests.inc(n, service=spec.name, outcome="ok")
+        batches.inc(service=spec.name, cluster=cluster.name)
+        sojourn.set(mean_sojourn, service=spec.name, cluster=cluster.name)

@@ -57,6 +57,17 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.federation import GeoBroker
 from repro.net.wan import WanTransferDescriptor
+from repro.obs.federation import (
+    FederatedMetrics,
+    FederationObsResult,
+    FederationObservability,
+    FederationProfiler,
+    TraceContext,
+    merge_shard_spans,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import KernelProfiler
+from repro.obs.tracing import RequestTracer
 from repro.sim.fluid import (
     CLASSIFY_MCYCLES,
     FluidBackgroundLoad,
@@ -100,6 +111,11 @@ class ShardMessage:
     kind: str
     payload: Tuple
     send_time: float
+    #: Cross-shard trace propagation: the originating request's
+    #: :class:`~repro.obs.federation.TraceContext` (or ``None`` with
+    #: tracing off).  Pure observability — never read by handlers for
+    #: simulation decisions and never part of a digest.
+    trace: Optional[TraceContext] = None
 
     @property
     def sort_key(self) -> Tuple[float, str, int]:
@@ -281,7 +297,13 @@ class ClusterShard:
     as :class:`ShardMessage` values for the coordinator to route.
     """
 
-    def __init__(self, spec: ClusterSpec, topology: FederationTopology, seed: int):
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        topology: FederationTopology,
+        seed: int,
+        obs: Optional[FederationObservability] = None,
+    ):
         self.spec = spec
         self.topology = topology
         self.name = spec.name
@@ -340,6 +362,45 @@ class ClusterShard:
         self.msgs_sent = 0
         self.msgs_received = 0
         self._classify_s = CLASSIFY_MCYCLES / spec.host_cpu_mhz
+        # Per-shard observability (observe, never perturb: nothing below
+        # schedules events, draws RNG, or feeds the digest).
+        self.obs = obs if obs is not None and obs.enabled else None
+        self.tracer: Optional[RequestTracer] = None
+        self.registry: Optional[MetricsRegistry] = None
+        self.profiler: Optional[KernelProfiler] = None
+        self._msgs_metric = None
+        self._geo_metric = None
+        #: Open root spans by trace id, finished when the round trip
+        #: (reply / placed broadcast) lands back here.
+        self._open_roots: Dict[Any, Any] = {}
+        if self.obs is not None:
+            if self.obs.tracing:
+                # Namespaced IDs: stable across process layouts, so the
+                # reassembled federation traces are bit-identical for
+                # any worker count.
+                self.tracer = RequestTracer(
+                    capacity=self.obs.span_capacity, namespace=self.name
+                )
+                self.tracer.begin_epoch()
+                self.sim.obs_tracer = self.tracer
+            if self.obs.metrics:
+                self.registry = MetricsRegistry()
+                self.sim.metrics = self.registry
+                self._msgs_metric = self.registry.counter(
+                    "soda_shard_messages_total",
+                    "Cross-shard messages at this shard, by direction and kind.",
+                    ("direction", "kind"),
+                )
+                self._geo_metric = self.registry.counter(
+                    "soda_geo_requests_total",
+                    "Geo-routed requests by scope "
+                    "(local/remote issued, served, replied).",
+                    ("scope",),
+                )
+                if self.broker is not None:
+                    self.broker.instrument(self.registry)
+            if self.obs.profile:
+                self.profiler = KernelProfiler().install(self.sim)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self, duration_s: float) -> None:
@@ -376,6 +437,8 @@ class ClusterShard:
                 lambda handler=handler, message=message: handler(message),
             )
             self.msgs_received += 1
+            if self._msgs_metric is not None:
+                self._msgs_metric.inc(direction="received", kind=message.kind)
 
     def drain_outbox(self) -> List[ShardMessage]:
         drained, self.outbox = self.outbox, []
@@ -386,23 +449,52 @@ class ClusterShard:
         return not self.outbox and self.sim.peek() == float("inf")
 
     # -- message plane ------------------------------------------------------
-    def send(self, kind: str, dst: str, payload: Tuple, size_mb: float = 0.0) -> None:
-        """Queue a cross-cluster message; delivery = latency + bytes/rate."""
+    def send(
+        self,
+        kind: str,
+        dst: str,
+        payload: Tuple,
+        size_mb: float = 0.0,
+        ctx: Optional[TraceContext] = None,
+    ) -> None:
+        """Queue a cross-cluster message; delivery = latency + bytes/rate.
+
+        ``ctx`` propagates the originating trace: it rides the message,
+        and the hop itself becomes a finished ``wan_transfer`` span
+        ``[now, deliver_at]`` — exactly latency + transfer time, so the
+        reassembled trace's wan segments tile the end-to-end latency.
+        """
         edge = self.topology.edge(self.name, dst)
         descriptor = edge.descriptor(size_mb, label=kind)
         self._msg_seq += 1
+        deliver_at = descriptor.delivery_time(self.sim.now)
+        if ctx is not None and self.tracer is not None:
+            segments = descriptor.segments(self.sim.now)
+            self.tracer.start_span(
+                "wan_transfer",
+                f"wan:{self.name}->{dst}",
+                self.sim.now,
+                parent=ctx,
+                kind=kind,
+                latency_s=segments["latency_s"],
+                transfer_s=segments["transfer_s"],
+                size_mb=size_mb,
+            ).finish(deliver_at)
         self.outbox.append(
             ShardMessage(
-                deliver_at=descriptor.delivery_time(self.sim.now),
+                deliver_at=deliver_at,
                 src=self.name,
                 dst=dst,
                 seq=self._msg_seq,
                 kind=kind,
                 payload=payload,
                 send_time=self.sim.now,
+                trace=ctx,
             )
         )
         self.msgs_sent += 1
+        if self._msgs_metric is not None:
+            self._msgs_metric.inc(direction="sent", kind=kind)
 
     # -- workload: geo-routed demand ---------------------------------------
     def _geo_client(self, duration_s: float) -> Generator[Event, Any, None]:
@@ -426,10 +518,24 @@ class ClusterShard:
                 self._serve_local(entry, n, gap)
             else:
                 self.issued_remote += n
+                if self._geo_metric is not None:
+                    self._geo_metric.inc(n, scope="remote")
+                ctx = None
+                if self.tracer is not None:
+                    root = self.tracer.start_span(
+                        "geo_request", f"geo:{self.name}", sim.now,
+                        service=service, n=n, target=entry.host,
+                    )
+                    self._open_roots[root.context.trace_id] = root
+                    ctx = self._context_for(root)
                 self.send(
                     "dispatch", entry.host, (service, n, sim.now),
-                    size_mb=n * entry.request_mb,
+                    size_mb=n * entry.request_mb, ctx=ctx,
                 )
+
+    def _context_for(self, root) -> TraceContext:
+        """The picklable handle for a locally-rooted trace."""
+        return TraceContext(root.context.trace_id, root.context.span_id, self.name)
 
     def _serve_local(self, entry: _DirectoryEntry, n: int, window_s: float) -> None:
         _, mean_sojourn = self.cluster.dispatch_batch(
@@ -437,6 +543,8 @@ class ClusterShard:
         )
         self.issued_local += n
         self.latency_local_sum += n * (self._classify_s + mean_sojourn)
+        if self._geo_metric is not None:
+            self._geo_metric.inc(n, scope="local")
 
     # -- workload: broker placement calls ------------------------------------
     def _placement_client(self, duration_s: float) -> Generator[Event, Any, None]:
@@ -450,11 +558,22 @@ class ClusterShard:
                 return
             yield sim.timeout(gap)
             service = f"svc-{self.name}-{i}"
+            ctx = None
+            if self.tracer is not None:
+                root = self.tracer.start_span(
+                    "placement", f"place:{self.name}", sim.now, service=service
+                )
+                self._open_roots[root.context.trace_id] = root
+                ctx = self._context_for(root)
             if self.broker is not None:
                 # The broker lives here: a local call, not a WAN message.
-                self._handle_place(service, self.name)
+                self._handle_place(service, self.name, ctx)
+                if ctx is not None:
+                    self._open_roots.pop(ctx.trace_id).finish(sim.now)
             else:
-                self.send("place", self.topology.broker, (service, self.name))
+                self.send(
+                    "place", self.topology.broker, (service, self.name), ctx=ctx
+                )
 
     # -- message handlers (run inside the kernel at deliver_at) -------------
     def _on_dispatch(self, message: ShardMessage) -> None:
@@ -464,24 +583,33 @@ class ClusterShard:
             # Placement broadcast or image still in flight: queue; the
             # drain replays arrival order when the service comes up.
             self._pending.setdefault(service, []).append(
-                (message.src, n, origin_time)
+                (message.src, n, origin_time, message.trace, self.sim.now)
             )
             return
-        self._serve_remote(message.src, service, entry, n, origin_time)
+        self._serve_remote(
+            message.src, service, entry, n, origin_time, message.trace
+        )
 
     def _serve_remote(
         self, origin: str, service: str, entry: _DirectoryEntry,
-        n: int, origin_time: float,
+        n: int, origin_time: float, ctx: Optional[TraceContext] = None,
     ) -> None:
         completion, _ = self.cluster.dispatch_batch(
             self.sim.now, n, entry.service_s, 0.0
         )
         self.served_remote += n
+        if self._geo_metric is not None:
+            self._geo_metric.inc(n, scope="served")
+        if ctx is not None and self.tracer is not None:
+            self.tracer.start_span(
+                "remote_service", f"serve:{self.name}", self.sim.now,
+                parent=ctx, service=service, n=n,
+            ).finish(completion)
         self.sim.schedule_at(
             completion,
             lambda: self.send(
                 "reply", origin, (service, n, origin_time),
-                size_mb=n * entry.response_mb,
+                size_mb=n * entry.response_mb, ctx=ctx,
             ),
         )
 
@@ -489,24 +617,40 @@ class ClusterShard:
         _service, n, origin_time = message.payload
         self.replied += n
         self.latency_remote_sum += n * (self.sim.now - origin_time)
+        if self._geo_metric is not None:
+            self._geo_metric.inc(n, scope="replied")
+        if message.trace is not None and self.tracer is not None:
+            root = self._open_roots.pop(message.trace.trace_id, None)
+            if root is not None:
+                root.finish(self.sim.now)
 
     def _on_place(self, message: ShardMessage) -> None:
         service, origin = message.payload
-        self._handle_place(service, origin)
+        self._handle_place(service, origin, message.trace)
 
-    def _handle_place(self, service: str, origin: str) -> None:
+    def _handle_place(
+        self, service: str, origin: str, ctx: Optional[TraceContext] = None
+    ) -> None:
         """Broker-side placement: decide, broadcast, push the image."""
         assert self.broker is not None, "place call reached a non-broker shard"
         host = self.broker.place(service, origin)
+        if ctx is not None and self.tracer is not None:
+            self.tracer.start_span(
+                "place_decide", f"broker:{self.name}", self.sim.now,
+                parent=ctx, service=service, host=host,
+            ).finish(self.sim.now)
         for peer in self._peers:
-            self.send("placed", peer, (service, host))
+            self.send("placed", peer, (service, host), ctx=ctx)
         # The broker cluster hosts the image repository: remote hosts
         # serve only once the image crosses the WAN ("xfer"), but the
         # broker itself may route there immediately — early dispatches
         # wait in the host's pending queue behind the image.
         self._install(service, host, ready=True)
         if host != self.name:
-            self.send("xfer", host, (service,), size_mb=self.topology.image_mb)
+            self.send(
+                "xfer", host, (service,),
+                size_mb=self.topology.image_mb, ctx=ctx,
+            )
 
     def _on_placed(self, message: ShardMessage) -> None:
         service, host = message.payload
@@ -514,6 +658,16 @@ class ClusterShard:
         # strictly later than this broadcast on the same edge); everyone
         # else may route to the service immediately.
         self._install(service, host, ready=host != self.name)
+        # The decision broadcast landing back at the requesting shard
+        # closes its placement root span.
+        if (
+            message.trace is not None
+            and self.tracer is not None
+            and message.trace.origin == self.name
+        ):
+            root = self._open_roots.pop(message.trace.trace_id, None)
+            if root is not None:
+                root.finish(self.sim.now)
 
     def _install(self, service: str, host: str, ready: bool) -> None:
         topology = self.topology
@@ -532,8 +686,15 @@ class ClusterShard:
 
     def _drain_pending(self, service: str) -> None:
         entry = self.directory[service]
-        for origin, n, origin_time in self._pending.pop(service, ()):
-            self._serve_remote(origin, service, entry, n, origin_time)
+        for origin, n, origin_time, ctx, arrived in self._pending.pop(service, ()):
+            # The image-wait segment, so traces through a pending queue
+            # still tile end to end: [dispatch arrival, image ready].
+            if ctx is not None and self.tracer is not None:
+                self.tracer.start_span(
+                    "pending_wait", f"serve:{self.name}", arrived,
+                    parent=ctx, service=service, n=n,
+                ).finish(self.sim.now)
+            self._serve_remote(origin, service, entry, n, origin_time, ctx)
 
     # -- results -------------------------------------------------------------
     def digest(self) -> Dict[str, Any]:
@@ -561,6 +722,28 @@ class ClusterShard:
             ),
         }
 
+    def obs_payload(self) -> Dict[str, Any]:
+        """Everything this shard observed, as picklable data.
+
+        Crosses the worker→coordinator pipe once at the end of a run;
+        the coordinator reassembles all shards' payloads into one
+        :class:`~repro.obs.federation.FederationObsResult`.
+        """
+        payload: Dict[str, Any] = {
+            "spans": [],
+            "spans_dropped": 0,
+            "metrics": None,
+            "profile": None,
+        }
+        if self.tracer is not None:
+            payload["spans"] = [span.to_dict() for span in self.tracer.spans()]
+            payload["spans_dropped"] = self.tracer.dropped
+        if self.registry is not None:
+            payload["metrics"] = self.registry.dump()
+        if self.profiler is not None:
+            payload["profile"] = self.profiler.snapshot()
+        return payload
+
 
 # ---------------------------------------------------------------------------
 # The epoch coordinator: serial in-process or sharded across workers.
@@ -583,6 +766,10 @@ class FederationRun:
     #: Fraction of worker-slots spent waiting at barriers for the
     #: slowest worker (load imbalance; 0.0 for the in-process serial run).
     barrier_stall_fraction: float = 0.0
+    #: Reassembled federation-wide observability (``None`` unless an
+    #: observability spec was passed).  Deliberately outside
+    #: :attr:`digest_sha`: digests stay bit-identical obs on vs off.
+    observability: Optional[FederationObsResult] = None
 
     @property
     def msgs_per_epoch(self) -> float:
@@ -625,6 +812,7 @@ def run_federation(
     duration_s: float,
     seed: int = 0,
     n_workers: int = 1,
+    obs: Optional[FederationObservability] = None,
 ) -> FederationRun:
     """Run the federated topology to quiescence; any worker count.
 
@@ -633,23 +821,73 @@ def run_federation(
     to persistent worker processes and exchanges messages through the
     coordinator at every epoch barrier.  Digests are bit-identical
     across worker counts by construction (see the module docstring).
+
+    Passing an ``obs`` spec turns on federation-wide observability:
+    every shard runs its own tracer/registry/profiler, contexts ride the
+    message plane, and the coordinator reassembles the result
+    (:attr:`FederationRun.observability`).  Digests are bit-identical
+    with ``obs`` on or off — observability observes, never perturbs.
     """
     if duration_s <= 0:
         raise ValueError(f"duration must be positive, got {duration_s}")
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if obs is not None and not obs.enabled:
+        obs = None
     n_workers = min(n_workers, len(topology.clusters))
     if n_workers == 1:
-        return _run_serial(topology, duration_s, seed)
-    return _run_parallel(topology, duration_s, seed, n_workers)
+        return _run_serial(topology, duration_s, seed, obs)
+    return _run_parallel(topology, duration_s, seed, n_workers, obs)
+
+
+def _assemble_obs(
+    obs: FederationObservability,
+    profiler: Optional[FederationProfiler],
+    fed_metrics: Optional[FederatedMetrics],
+    payloads: Dict[str, Dict[str, Any]],
+    epochs: int,
+    messages: int,
+) -> FederationObsResult:
+    """Reassemble per-shard observability payloads coordinator-side."""
+    spans: List[Dict[str, Any]] = []
+    if obs.tracing:
+        spans = merge_shard_spans(
+            {name: payload["spans"] for name, payload in payloads.items()}
+        )
+    if fed_metrics is not None:
+        for name in sorted(payloads):
+            if payloads[name]["metrics"] is not None:
+                fed_metrics.update(name, payloads[name]["metrics"])
+        fed_metrics.note_epoch(epochs, messages)
+        if profiler is not None:
+            fed_metrics.note_barrier_wait(
+                {
+                    str(worker): wait
+                    for worker, wait in enumerate(profiler.barrier_wait_by_worker())
+                }
+            )
+    return FederationObsResult(
+        spans=spans,
+        spans_dropped=sum(p["spans_dropped"] for p in payloads.values()),
+        metrics=fed_metrics,
+        profiler=profiler,
+        kernel_profiles={
+            name: payload["profile"]
+            for name, payload in sorted(payloads.items())
+            if payload["profile"] is not None
+        },
+    )
 
 
 def _run_serial(
-    topology: FederationTopology, duration_s: float, seed: int
+    topology: FederationTopology,
+    duration_s: float,
+    seed: int,
+    obs: Optional[FederationObservability] = None,
 ) -> FederationRun:
     started = time.perf_counter()
     shards = {
-        spec.name: ClusterShard(spec, topology, seed)
+        spec.name: ClusterShard(spec, topology, seed, obs=obs)
         for spec in topology.clusters
     }
     order = sorted(shards)
@@ -657,6 +895,14 @@ def _run_serial(
         shards[name].start(duration_s)
     epoch_s = topology.lookahead_s
     guard = _epoch_guard(duration_s, epoch_s)
+    # All shards share the one in-process "worker": the federation
+    # profiler still attributes per-shard CPU, it just sees no stall.
+    profiler = (
+        FederationProfiler(epoch_s, {name: 0 for name in order})
+        if obs is not None
+        else None
+    )
+    fed_metrics = FederatedMetrics() if obs is not None and obs.metrics else None
     horizon = 0.0
     epochs = 0
     messages = 0
@@ -666,13 +912,25 @@ def _run_serial(
         routed = _route(inflight)
         for name in order:
             shards[name].deliver(routed.get(name, ()))
-        for name in order:
-            shards[name].advance(horizon)
+        if profiler is not None:
+            epoch_busy: Dict[str, float] = {}
+            for name in order:
+                began = time.process_time()
+                shards[name].advance(horizon)
+                epoch_busy[name] = time.process_time() - began
+            profiler.record_epoch(epoch_busy)
+        else:
+            for name in order:
+                shards[name].advance(horizon)
         inflight = []
         for name in order:
             inflight.extend(shards[name].drain_outbox())
         messages += len(inflight)
         epochs += 1
+        if fed_metrics is not None:
+            # The per-barrier snapshot ship (newest wins; cumulative).
+            for name in order:
+                fed_metrics.update(name, shards[name].registry.dump())
         if (
             horizon >= duration_s
             and not inflight
@@ -686,6 +944,13 @@ def _run_serial(
                 "message loops"
             )
     wall = time.perf_counter() - started
+    observability = None
+    if obs is not None:
+        observability = _assemble_obs(
+            obs, profiler, fed_metrics,
+            {name: shards[name].obs_payload() for name in order},
+            epochs, messages,
+        )
     return FederationRun(
         digests={name: shards[name].digest() for name in order},
         n_workers=1,
@@ -696,15 +961,19 @@ def _run_serial(
         worker_busy_s=[wall],
         critical_path_s=wall,
         barrier_stall_fraction=0.0,
+        observability=observability,
     )
 
 
-def _worker_main(conn, specs, topology, seed, duration_s) -> None:
+def _worker_main(conn, specs, topology, seed, duration_s, obs=None) -> None:
     """A persistent sub-kernel worker: owns its shards across epochs."""
-    shards = {spec.name: ClusterShard(spec, topology, seed) for spec in specs}
+    shards = {
+        spec.name: ClusterShard(spec, topology, seed, obs=obs) for spec in specs
+    }
     order = sorted(shards)
     for name in order:
         shards[name].start(duration_s)
+    observing = obs is not None
     try:
         while True:
             command = conn.recv()
@@ -715,15 +984,38 @@ def _worker_main(conn, specs, topology, seed, duration_s) -> None:
                 outbox: List[ShardMessage] = []
                 for name in order:
                     shards[name].deliver(inbound.get(name, ()))
-                for name in order:
-                    shards[name].advance(horizon)
+                extra = None
+                if observing:
+                    # Per-shard CPU split for the federation profiler,
+                    # plus the per-barrier registry snapshot ship.
+                    epoch_busy: Dict[str, float] = {}
+                    for name in order:
+                        t0 = time.process_time()
+                        shards[name].advance(horizon)
+                        epoch_busy[name] = time.process_time() - t0
+                    extra = {
+                        "busy": epoch_busy,
+                        "metrics": (
+                            {
+                                name: shards[name].registry.dump()
+                                for name in order
+                            }
+                            if obs.metrics
+                            else None
+                        ),
+                    }
+                else:
+                    for name in order:
+                        shards[name].advance(horizon)
                 for name in order:
                     outbox.extend(shards[name].drain_outbox())
                 busy = time.process_time() - began
                 quiet = all(shards[name].quiet() for name in order)
-                conn.send((outbox, busy, quiet))
+                conn.send((outbox, busy, quiet, extra))
             elif verb == "digest":
                 conn.send({name: shards[name].digest() for name in order})
+            elif verb == "obs":
+                conn.send({name: shards[name].obs_payload() for name in order})
             elif verb == "stop":
                 break
     finally:
@@ -731,7 +1023,11 @@ def _worker_main(conn, specs, topology, seed, duration_s) -> None:
 
 
 def _run_parallel(
-    topology: FederationTopology, duration_s: float, seed: int, n_workers: int
+    topology: FederationTopology,
+    duration_s: float,
+    seed: int,
+    n_workers: int,
+    obs: Optional[FederationObservability] = None,
 ) -> FederationRun:
     import multiprocessing as mp
 
@@ -754,7 +1050,7 @@ def _run_parallel(
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, specs, topology, seed, duration_s),
+                args=(child_conn, specs, topology, seed, duration_s, obs),
                 daemon=True,
             )
             process.start()
@@ -764,6 +1060,12 @@ def _run_parallel(
 
         epoch_s = topology.lookahead_s
         guard = _epoch_guard(duration_s, epoch_s)
+        profiler = (
+            FederationProfiler(epoch_s, owners) if obs is not None else None
+        )
+        fed_metrics = (
+            FederatedMetrics() if obs is not None and obs.metrics else None
+        )
         horizon = 0.0
         epochs = 0
         messages = 0
@@ -782,17 +1084,25 @@ def _run_parallel(
             inflight = []
             busies = []
             all_quiet = True
+            epoch_busy: Dict[str, float] = {}
             for worker in range(n_workers):
-                outbox, busy, quiet = pipes[worker].recv()
+                outbox, busy, quiet, extra = pipes[worker].recv()
                 inflight.extend(outbox)
                 busies.append(busy)
                 busy_totals[worker] += busy
                 all_quiet = all_quiet and quiet
+                if extra is not None:
+                    epoch_busy.update(extra["busy"])
+                    if fed_metrics is not None and extra["metrics"] is not None:
+                        for name, dump in extra["metrics"].items():
+                            fed_metrics.update(name, dump)
             slowest = max(busies)
             critical_path += slowest
             stall += sum(slowest - busy for busy in busies)
             messages += len(inflight)
             epochs += 1
+            if profiler is not None:
+                profiler.record_epoch(epoch_busy)
             if horizon >= duration_s and not inflight and all_quiet:
                 break
             if epochs > guard:
@@ -807,6 +1117,12 @@ def _run_parallel(
             pipes[worker].send(("digest",))
         for worker in range(n_workers):
             digests.update(pipes[worker].recv())
+        obs_payloads: Dict[str, Dict[str, Any]] = {}
+        if obs is not None:
+            for worker in range(n_workers):
+                pipes[worker].send(("obs",))
+            for worker in range(n_workers):
+                obs_payloads.update(pipes[worker].recv())
         for worker in range(n_workers):
             pipes[worker].send(("stop",))
     finally:
@@ -819,6 +1135,11 @@ def _run_parallel(
                 process.join(timeout=5)
     wall = time.perf_counter() - started
     denominator = n_workers * critical_path
+    observability = None
+    if obs is not None:
+        observability = _assemble_obs(
+            obs, profiler, fed_metrics, obs_payloads, epochs, messages
+        )
     return FederationRun(
         digests={name: digests[name] for name in sorted(digests)},
         n_workers=n_workers,
@@ -829,4 +1150,5 @@ def _run_parallel(
         worker_busy_s=busy_totals,
         critical_path_s=critical_path,
         barrier_stall_fraction=stall / denominator if denominator else 0.0,
+        observability=observability,
     )

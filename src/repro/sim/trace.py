@@ -63,10 +63,24 @@ class Tracer:
         self.capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
+        self._dropped_metric = None
+        self._dropped_registry = None
 
     def emit(self, category: str, message: str, **fields: Any) -> None:
         if self.capacity is not None and len(self._events) >= self.capacity:
             self.dropped += 1  # the deque evicts the oldest event below
+            # Surface ring evictions in the metrics exposition so bounded
+            # tracing is visible, not silent.  Cached per registry (the
+            # sim's registry can be attached or swapped after the tracer).
+            registry = getattr(self.sim, "metrics", None)
+            if registry is not None:
+                if self._dropped_registry is not registry:
+                    self._dropped_registry = registry
+                    self._dropped_metric = registry.counter(
+                        "soda_trace_events_dropped_total",
+                        "Trace events evicted from bounded ring buffers.",
+                    )
+                self._dropped_metric.inc()
         self._events.append(
             TraceEvent(time=self.sim.now, category=category, message=message, fields=fields)
         )

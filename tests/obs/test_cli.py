@@ -2,8 +2,11 @@
 
 import json
 
+import pytest
+
 from repro.obs.cli import main
-from repro.obs.export import write_spans_json
+from repro.obs.export import write_federation_profile, write_spans_json
+from repro.obs.federation import FederationProfiler
 from repro.obs.tracing import RequestTracer
 
 
@@ -46,6 +49,47 @@ def test_chrome_export_explicit_output(tmp_path):
     assert main(["chrome-export", path, "-o", out]) == 0
     with open(out) as handle:
         assert json.load(handle)["traceEvents"]
+
+
+def fedprofile_file(tmp_path):
+    profiler = FederationProfiler(0.03, {"east": 0, "west": 1})
+    profiler.record_epoch({"east": 0.2, "west": 0.1})
+    profiler.record_epoch({"east": 0.1, "west": 0.3})
+    path = str(tmp_path / "run.fedprofile.json")
+    write_federation_profile(path, profiler.to_payload())
+    return path
+
+
+def test_federation_summary(tmp_path, capsys):
+    path = fedprofile_file(tmp_path)
+    assert main(["federation-summary", path]) == 0
+    out = capsys.readouterr().out
+    assert "2 shards on 2 workers, 2 epochs" in out
+    assert "achievable speedup" in out
+    assert "slowest shard" in out
+
+
+def test_federation_summary_rejects_spans_file(tmp_path):
+    path = spans_file(tmp_path)
+    with pytest.raises(ValueError, match="soda-fedprofile"):
+        main(["federation-summary", path])
+
+
+def test_chrome_export_federated(tmp_path, capsys):
+    path = fedprofile_file(tmp_path)
+    assert main(["chrome-export", "--federated", path]) == 0
+    # The federated export must not collide with the span export's
+    # default name for the same run stem.
+    out_path = path[: -len(".json")] + ".chrome.json"
+    assert out_path.endswith(".fedprofile.chrome.json")
+    assert out_path in capsys.readouterr().out
+    with open(out_path) as handle:
+        events = json.load(handle)["traceEvents"]
+    assert [e for e in events if e["ph"] == "i"], "no barrier instants"
+    lanes = {
+        e["args"]["name"] for e in events if e["ph"] == "M" and e["tid"] > 0
+    }
+    assert lanes == {"shard:east [w0]", "shard:west [w1]"}
 
 
 def test_metrics_dump_validates_and_greps(tmp_path, capsys):

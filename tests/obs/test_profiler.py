@@ -98,6 +98,41 @@ def test_profiled_run_until_process():
     assert profiler.events_total > 0
 
 
+def test_install_accumulates_across_run_resumptions():
+    """Epoch-style runs resume one sim with run(until=...) many times;
+    install() must keep accumulating unless reset is requested."""
+    sim = Simulator()
+    profiler = KernelProfiler().install(sim)
+
+    def forever(sim):
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(forever(sim), name="loop")
+    sim.run(until=3.0)
+    after_first = profiler.events_total
+    assert after_first > 0
+    # A re-install between epochs (same sim or the next shard) keeps
+    # the statistics; only reset=True clears them.
+    profiler.install(sim)
+    sim.run(until=6.0)
+    assert profiler.events_total > after_first
+    profiler.install(sim, reset=True)
+    assert profiler.events_total == 0
+    sim.run(until=9.0)
+    assert 0 < profiler.events_total <= after_first
+
+
+def test_reset_keeps_clear_alias():
+    profiler = KernelProfiler()
+    profiler.record("x", 0.1)
+    profiler.clear()  # backwards-compatible alias for reset()
+    assert profiler.events_total == 0
+    profiler.record("y", 0.2)
+    profiler.reset()
+    assert profiler.events_total == 0 and not profiler.sites
+
+
 def test_profiled_run_with_until_clamp():
     sim = Simulator()
     sim.set_profiler(KernelProfiler())

@@ -19,7 +19,9 @@ disabled — `repro.obs` observes, never perturbs.
 import repro.experiments.fig4_loadbalance as fig4
 from repro.faults.chaos import run_chaos_scenario
 from repro.market import fast_params, run_market_scenario
-from repro.obs import Observability
+from repro.obs import FederationObservability, Observability
+from repro.sim.parallel import run_federation
+from tests.sim.test_parallel import build_topology as build_federation
 from tests.sla.test_e2e import run_sla_scenario
 
 
@@ -97,6 +99,31 @@ def test_sla_digest_unchanged_by_full_observability():
         observed = _sla_digest(7)
     assert plain == observed
     assert len(hub.tracer.spans()) > 0
+
+
+# -- federated runs join the observability contract ---------------------------
+
+
+def test_federated_digest_unchanged_by_full_observability():
+    """Cross-shard tracing, metrics federation and the epoch profiler
+    must not move a federated digest at any worker count — spans ride
+    messages as inert payload and profilers only read process_time."""
+    topology = build_federation()
+    for n_workers in (1, 2, 4):
+        plain = run_federation(
+            topology, duration_s=1.0, seed=5, n_workers=n_workers
+        )
+        observed = run_federation(
+            topology, duration_s=1.0, seed=5, n_workers=n_workers,
+            obs=FederationObservability(),
+        )
+        assert observed.digest_sha == plain.digest_sha
+        assert observed.digests == plain.digests
+        # The federation stack actually observed — it just didn't perturb.
+        fed = observed.observability
+        assert len(fed.spans) > 0
+        assert "soda_shard_messages_total" in fed.metrics.render()
+        assert fed.profiler.n_epochs == plain.epochs
 
 
 # -- fault injection joins the determinism contract ---------------------------

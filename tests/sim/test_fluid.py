@@ -163,6 +163,49 @@ def test_fluid_matches_discrete_in_expectation():
         )
 
 
+def test_fluid_metrics_parity_with_discrete_names():
+    """The fluid path reports the discrete switch counter (same name,
+    same semantics) plus fluid-specific batch/sojourn families — and the
+    instrumentation never moves the digest."""
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = Simulator()
+    registry = MetricsRegistry()
+    sim.metrics = registry
+    streams = RandomStreams(0)
+    clusters = [FluidCluster(sim, f"c{i}", 4) for i in range(3)]
+    load = FluidBackgroundLoad(sim, streams, clusters, list(SPECS), fidelity="fluid")
+    report = sim.run_until_process(sim.process(load.run(4.0)))
+
+    lines = registry.render().splitlines()
+
+    def family_total(name, service):
+        return sum(
+            int(float(line.rsplit(" ", 1)[1]))
+            for line in lines
+            if line.startswith(name + "{") and f'service="{service}"' in line
+        )
+
+    for spec in SPECS:
+        account = report.services[spec.name]
+        assert account.requests > 0
+        assert (
+            family_total("soda_switch_requests_total", spec.name)
+            == account.requests
+        )
+        assert (
+            family_total("soda_fluid_batches_total", spec.name)
+            == account.batches
+        )
+    assert any(
+        line.startswith("soda_fluid_mean_sojourn_seconds{") for line in lines
+    )
+
+    # Observe, never perturb: same run without a registry, same digest.
+    plain_report, _, _ = fleet_run("fluid", n_hosts=12, n_clusters=3)
+    assert plain_report.digest() == report.digest()
+
+
 def test_fluid_event_and_wall_budget_is_batch_level():
     fluid, fsim, _ = fleet_run("fluid", duration_s=6.0, seed=3)
     discrete, dsim, _ = fleet_run("discrete", duration_s=6.0, seed=3)

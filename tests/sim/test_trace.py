@@ -55,6 +55,30 @@ def test_capacity_ring_retains_newest():
     assert tracer.dropped == 4
 
 
+def test_dropped_events_surface_in_metrics():
+    """Ring evictions increment soda_trace_events_dropped_total when a
+    metrics registry is attached — even one attached after the tracer,
+    or swapped mid-run."""
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=2)
+    tracer.emit("x", "0")
+    tracer.emit("x", "1")
+    tracer.emit("x", "2")  # evicts, but no registry attached yet
+    registry = MetricsRegistry()
+    sim.metrics = registry
+    tracer.emit("x", "3")
+    tracer.emit("x", "4")
+    assert tracer.dropped == 3
+    assert "soda_trace_events_dropped_total 2" in registry.render()
+    # A swapped registry gets a fresh counter (cached per identity).
+    replacement = MetricsRegistry()
+    sim.metrics = replacement
+    tracer.emit("x", "5")
+    assert "soda_trace_events_dropped_total 1" in replacement.render()
+
+
 def test_trace_helper_noop_without_tracer():
     sim = Simulator()
     trace(sim, "x", "dropped silently")  # must not raise
