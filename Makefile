@@ -1,6 +1,6 @@
 # Convenience targets for the SODA reproduction.
 
-.PHONY: install test lint chaos coverage bench bench-compare bench-pytest experiments report examples obs-demo market-demo all
+.PHONY: install test lint chaos coverage bench bench-compare bench-pytest experiments report examples obs-demo market-demo scenarios all
 
 install:
 	pip install -e . || python setup.py develop
@@ -48,6 +48,12 @@ examples:
 
 obs-demo:
 	PYTHONPATH=src python examples/observability.py obs-demo
+
+# The scenario library: list the catalogue, then run the fast matrix
+# (scenario x policy x seed) serially and with 2 workers — byte-identical.
+scenarios:
+	PYTHONPATH=src python -m repro.scenario.cli list
+	PYTHONPATH=src python -m repro.experiments.scenario_matrix --fast --parallel 2
 
 # Spot pricing, bid-aware admission, and the market-vs-FCFS ablation.
 market-demo:

@@ -54,6 +54,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         fig5_cpushares,
         fig6_slowdown,
         fleet_scale,
+        scenario_matrix,
         table1_requirements,
         table2_bootstrap,
         table3_config,
@@ -81,6 +82,7 @@ def _registry() -> Dict[str, Callable[..., ExperimentResult]]:
         ablation_market,
         fleet_scale,
         federation_scale,
+        scenario_matrix,
     ]
     return {m.EXPERIMENT_ID: m.run for m in modules}
 

@@ -1,0 +1,245 @@
+"""The named scenario library.
+
+Six canonical families, one per workload shape the ROADMAP calls out.
+Every entry is a builder taking ``duration_s`` (so the ``--fast``
+experiment arm can shrink the horizon without distorting the shape:
+time-anchored features — flash-crowd onset, diurnal period, burst
+episode lengths — scale with the horizon).  Builders return plain
+:class:`~repro.scenario.spec.ScenarioSpec` values; nothing here draws
+randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from repro.scenario.spec import (
+    BurstEnvelope,
+    ConstantArrivals,
+    DiurnalArrivals,
+    FlashCrowdArrivals,
+    ReplayArrivals,
+    ScenarioSpec,
+    SizeModel,
+    TenantLoad,
+)
+from repro.workload.replay import ArrivalTrace
+
+__all__ = ["LIBRARY", "list_scenarios", "get_scenario", "recorded_trace"]
+
+
+def diurnal(duration_s: float = 120.0) -> ScenarioSpec:
+    """Two tenants riding a day cycle, half a period out of phase."""
+    period = duration_s / 2.0
+    return ScenarioSpec(
+        name="diurnal",
+        duration_s=duration_s,
+        description=(
+            "Two interactive tenants on sinusoidal day cycles, half a "
+            "period out of phase (follow-the-sun): aggregate load is "
+            "flatter than either tenant's own swing."
+        ),
+        loads=(
+            TenantLoad(
+                tenant="web-east",
+                arrivals=DiurnalArrivals(base_rps=2.0, peak_factor=3.0, period_s=period),
+                sizes=SizeModel(kind="fixed", mb=0.08),
+                sla_class="gold",
+            ),
+            TenantLoad(
+                tenant="web-west",
+                arrivals=DiurnalArrivals(
+                    base_rps=2.0, peak_factor=3.0, period_s=period,
+                    phase_s=period / 2.0,
+                ),
+                sizes=SizeModel(kind="fixed", mb=0.08),
+                sla_class="silver",
+            ),
+        ),
+    )
+
+
+def flash_crowd(duration_s: float = 90.0) -> ScenarioSpec:
+    """A steady service next to one hit by a mid-run flash crowd."""
+    return ScenarioSpec(
+        name="flash-crowd",
+        duration_s=duration_s,
+        description=(
+            "A steady bystander tenant plus a tenant hit by an 8x flash "
+            "crowd a third of the way in (linear ramp, hold, decay)."
+        ),
+        loads=(
+            TenantLoad(
+                tenant="frontpage",
+                arrivals=FlashCrowdArrivals(
+                    base_rps=1.5, spike_factor=8.0,
+                    at_s=duration_s / 3.0,
+                    ramp_s=duration_s / 18.0,
+                    hold_s=duration_s / 9.0,
+                    decay_s=duration_s / 9.0,
+                ),
+                sizes=SizeModel(kind="fixed", mb=0.06),
+                sla_class="gold",
+            ),
+            TenantLoad(
+                tenant="bystander",
+                arrivals=ConstantArrivals(rate_rps=2.0),
+                sizes=SizeModel(kind="fixed", mb=0.08),
+                sla_class="bronze",
+            ),
+        ),
+    )
+
+
+def heavy_tail(duration_s: float = 90.0) -> ScenarioSpec:
+    """Heavy-tailed payloads: Pareto and lognormal dataset sizes."""
+    return ScenarioSpec(
+        name="heavy-tail",
+        duration_s=duration_s,
+        description=(
+            "Two tenants with heavy-tailed dataset sizes (truncated "
+            "Pareto alpha=1.3 and lognormal sigma=1.0): most requests "
+            "are tiny, a few drag whole-MB transfers — service times "
+            "inherit the tail."
+        ),
+        loads=(
+            TenantLoad(
+                tenant="media",
+                arrivals=ConstantArrivals(rate_rps=2.5),
+                sizes=SizeModel(kind="pareto", mb=0.03, alpha=1.3, cap_mb=2.0),
+                sla_class="silver",
+            ),
+            TenantLoad(
+                tenant="api",
+                arrivals=ConstantArrivals(rate_rps=3.0),
+                sizes=SizeModel(kind="lognormal", mb=0.05, sigma=1.0, cap_mb=1.0),
+                sla_class="gold",
+            ),
+        ),
+    )
+
+
+def correlated_bursts(duration_s: float = 90.0) -> ScenarioSpec:
+    """Three tenants whose bursts arrive *together* (shared envelope)."""
+    return ScenarioSpec(
+        name="correlated-bursts",
+        duration_s=duration_s,
+        description=(
+            "Three steady tenants under one calm/burst envelope: inside "
+            "a burst window every tenant's rate triples simultaneously — "
+            "the correlated spike independent randomness cannot produce."
+        ),
+        bursts=BurstEnvelope(
+            factor=3.0,
+            mean_calm_s=duration_s / 6.0,
+            mean_burst_s=duration_s / 12.0,
+        ),
+        loads=tuple(
+            TenantLoad(
+                tenant=f"shop-{i}",
+                arrivals=ConstantArrivals(rate_rps=1.5),
+                sizes=SizeModel(kind="fixed", mb=0.07),
+                sla_class=cls,
+            )
+            for i, cls in enumerate(("gold", "silver", "bronze"))
+        ),
+    )
+
+
+def batch_interactive(duration_s: float = 90.0) -> ScenarioSpec:
+    """Long-running batch transfers sharing the HUP with interactive load."""
+    return ScenarioSpec(
+        name="batch-interactive",
+        duration_s=duration_s,
+        description=(
+            "An interactive tenant (high rate, small payloads) sharing "
+            "the platform with a batch tenant (sparse arrivals, "
+            "lognormal multi-MB datasets occupying the LAN for seconds)."
+        ),
+        loads=(
+            TenantLoad(
+                tenant="dashboard",
+                arrivals=ConstantArrivals(rate_rps=4.0),
+                sizes=SizeModel(kind="fixed", mb=0.04),
+                sla_class="gold",
+                kind="interactive",
+            ),
+            TenantLoad(
+                tenant="genome-batch",
+                arrivals=ConstantArrivals(rate_rps=0.25),
+                sizes=SizeModel(kind="lognormal", mb=1.5, sigma=0.5, cap_mb=6.0),
+                sla_class="bronze",
+                kind="batch",
+            ),
+        ),
+    )
+
+
+def recorded_trace(duration_s: float = 60.0, n: int = 48) -> ArrivalTrace:
+    """A small deterministic "recorded" request log (pure data, no RNG).
+
+    Offsets follow a gently accelerating clock with a bounded
+    sinusoidal wobble; sizes alternate through a small page-weight
+    palette.  Stands in for a production access log in the library and
+    the tests.
+    """
+    span = duration_s * 0.95
+    offsets = [
+        (span * i / n) * (0.85 + 0.15 * i / n) + 0.2 * math.sin(1.7 * i) + 0.25
+        for i in range(n)
+    ]
+    sizes = [(0.03, 0.08, 0.05, 0.25)[i % 4] for i in range(n)]
+    arrivals: List[Tuple[float, float]] = sorted(
+        (round(max(0.0, t), 6), mb) for t, mb in zip(offsets, sizes)
+    )
+    return ArrivalTrace(tuple(arrivals))
+
+
+def replay(duration_s: float = 60.0) -> ScenarioSpec:
+    """Replay of a recorded request log next to a synthetic baseline."""
+    return ScenarioSpec(
+        name="replay",
+        duration_s=duration_s,
+        description=(
+            "A recorded access log replayed verbatim (offsets and "
+            "payload sizes from the recording) next to a synthetic "
+            "Poisson baseline tenant."
+        ),
+        loads=(
+            TenantLoad(
+                tenant="recorded",
+                arrivals=ReplayArrivals(recorded_trace(duration_s)),
+                sla_class="silver",
+            ),
+            TenantLoad(
+                tenant="baseline",
+                arrivals=ConstantArrivals(rate_rps=1.0),
+                sizes=SizeModel(kind="fixed", mb=0.08),
+                sla_class="bronze",
+            ),
+        ),
+    )
+
+
+#: scenario name -> builder(duration_s) for every library family.
+LIBRARY: Dict[str, Callable[[float], ScenarioSpec]] = {
+    "diurnal": diurnal,
+    "flash-crowd": flash_crowd,
+    "heavy-tail": heavy_tail,
+    "correlated-bursts": correlated_bursts,
+    "batch-interactive": batch_interactive,
+    "replay": replay,
+}
+
+
+def list_scenarios() -> List[str]:
+    return list(LIBRARY)
+
+
+def get_scenario(name: str, duration_s: float = None) -> ScenarioSpec:
+    """Build a library scenario (default horizon unless overridden)."""
+    if name not in LIBRARY:
+        raise KeyError(f"unknown scenario {name!r}; known: {sorted(LIBRARY)}")
+    builder = LIBRARY[name]
+    return builder(duration_s) if duration_s is not None else builder()

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Generator, List, Tuple
+from typing import Any, Callable, Generator, List, Tuple
 
 from repro.core.errors import SODAError
 from repro.core.switch import ServiceSwitch
@@ -22,7 +22,13 @@ from repro.workload.apps import web_request
 from repro.workload.clients import ClientPool
 from repro.workload.siege import SiegeReport
 
-__all__ = ["ArrivalTrace", "TraceReplay", "poisson_trace", "diurnal_trace"]
+__all__ = [
+    "ArrivalTrace",
+    "TraceReplay",
+    "poisson_trace",
+    "diurnal_trace",
+    "thinned_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,10 @@ class ArrivalTrace:
     def __post_init__(self) -> None:
         last = -1.0
         for offset, size in self.arrivals:
+            # isfinite also rejects NaN, which the < comparisons below
+            # would silently wave through (NaN compares False to all).
+            if not (math.isfinite(offset) and math.isfinite(size)):
+                raise ValueError(f"non-finite arrival entry: ({offset}, {size})")
             if offset < 0 or size < 0:
                 raise ValueError(f"negative arrival entry: ({offset}, {size})")
             if offset < last:
@@ -71,6 +81,44 @@ def poisson_trace(
     return ArrivalTrace(tuple(arrivals))
 
 
+def thinned_trace(
+    streams: RandomStreams,
+    rate_fn: Callable[[float], float],
+    max_rate: float,
+    duration_s: float,
+    size_fn: Callable[[float], float],
+    gap_stream: str = "trace-thin-gap",
+    thin_stream: str = "trace-thin",
+) -> ArrivalTrace:
+    """A non-homogeneous Poisson trace via Lewis-Shedler thinning.
+
+    Candidate arrivals are drawn at the envelope rate ``max_rate`` from
+    ``gap_stream``; each candidate at instant ``t`` survives with
+    probability ``rate_fn(t) / max_rate`` (one uniform from
+    ``thin_stream`` per candidate, drawn unconditionally so the draw
+    sequence is independent of the rate shape), and surviving arrivals
+    get a dataset size from ``size_fn(t)``.  Everything is a pure
+    function of ``(streams, arguments)`` — the scenario layer's
+    purity/digest contract rests on this.
+    """
+    if max_rate <= 0 or duration_s <= 0:
+        raise ValueError("max rate and duration must be positive")
+    arrivals: List[Tuple[float, float]] = []
+    t = 0.0
+    while True:
+        t += streams.exponential(gap_stream, 1.0 / max_rate)
+        if t >= duration_s:
+            break
+        rate_t = rate_fn(t)
+        if rate_t < 0 or rate_t > max_rate * (1.0 + 1e-12):
+            raise ValueError(
+                f"rate_fn({t}) = {rate_t} escapes the envelope [0, {max_rate}]"
+            )
+        if streams.uniform(thin_stream, 0.0, 1.0) <= rate_t / max_rate:
+            arrivals.append((t, size_fn(t)))
+    return ArrivalTrace(tuple(arrivals))
+
+
 def diurnal_trace(
     streams: RandomStreams,
     base_rps: float,
@@ -82,24 +130,32 @@ def diurnal_trace(
     """A sinusoidally-modulated Poisson trace (Lewis-Shedler thinning).
 
     Instantaneous rate: ``base * (1 + (peak_factor-1)/2 * (1 + sin))``,
-    i.e. oscillating between ``base`` and ``base * peak_factor``.
+    i.e. oscillating between ``base`` and ``base * peak_factor``.  With
+    ``peak_factor == 1`` the modulation amplitude is zero and the
+    process *is* homogeneous Poisson, so the call delegates to
+    :func:`poisson_trace` — same draws, same arrivals, arrival for
+    arrival (pinned by a regression test).
     """
     if base_rps <= 0 or duration_s <= 0 or period_s <= 0:
         raise ValueError("rates, period and duration must be positive")
     if peak_factor < 1:
         raise ValueError(f"peak factor must be >= 1, got {peak_factor}")
-    max_rate = base_rps * peak_factor
-    arrivals: List[Tuple[float, float]] = []
-    t = 0.0
-    while True:
-        t += streams.exponential("trace-diurnal", 1.0 / max_rate)
-        if t >= duration_s:
-            break
-        swing = (peak_factor - 1.0) / 2.0
-        rate_t = base_rps * (1.0 + swing * (1.0 + math.sin(2 * math.pi * t / period_s)))
-        if streams.uniform("trace-thin", 0.0, 1.0) <= rate_t / max_rate:
-            arrivals.append((t, dataset_mb))
-    return ArrivalTrace(tuple(arrivals))
+    if peak_factor == 1:
+        return poisson_trace(streams, base_rps, duration_s, dataset_mb)
+    swing = (peak_factor - 1.0) / 2.0
+
+    def rate(t: float) -> float:
+        return base_rps * (1.0 + swing * (1.0 + math.sin(2 * math.pi * t / period_s)))
+
+    return thinned_trace(
+        streams,
+        rate_fn=rate,
+        max_rate=base_rps * peak_factor,
+        duration_s=duration_s,
+        size_fn=lambda _t: dataset_mb,
+        gap_stream="trace-diurnal",
+        thin_stream="trace-thin",
+    )
 
 
 class TraceReplay:

@@ -14,7 +14,7 @@ ALL_IDS = [
     "ablation-inflation", "ablation-market",
     "ablation-policies", "ablation-placement",
     "ablation-scheduler-shares", "ablation-tailoring",
-    "fleet-scale", "federation-scale",
+    "fleet-scale", "federation-scale", "scenario-matrix",
 ]
 
 

@@ -1,0 +1,116 @@
+"""Compile-layer tests: purity, stream discipline, burst windows."""
+
+import pytest
+
+from repro.scenario.compile import burst_windows, compile_scenario
+from repro.scenario.library import LIBRARY, get_scenario, recorded_trace
+from repro.scenario.spec import (
+    BurstEnvelope,
+    ConstantArrivals,
+    ReplayArrivals,
+    ScenarioSpec,
+    SizeModel,
+    TenantLoad,
+)
+from repro.sim.rng import RandomStreams
+
+
+def test_compile_is_pure_in_spec_and_seed():
+    for name in LIBRARY:
+        spec = get_scenario(name, 20.0)
+        first = compile_scenario(spec, seed=5)
+        second = compile_scenario(spec, seed=5)
+        assert first.digest() == second.digest(), name
+        assert first.digest_sha() == second.digest_sha(), name
+        assert compile_scenario(spec, seed=6).digest() != first.digest(), name
+
+
+def test_arrivals_sorted_nonnegative_within_horizon():
+    for name in LIBRARY:
+        spec = get_scenario(name, 25.0)
+        compiled = compile_scenario(spec, seed=1)
+        for tenant, trace in compiled.traces:
+            offsets = [t for t, _mb in trace.arrivals]
+            assert offsets == sorted(offsets), tenant
+            assert all(t >= 0.0 for t in offsets), tenant
+            assert all(t <= spec.duration_s for t in offsets), tenant
+            assert all(mb > 0.0 for _t, mb in trace.arrivals), tenant
+
+
+def test_replay_load_compiles_verbatim():
+    trace = recorded_trace(20.0, n=12)
+    spec = ScenarioSpec(
+        name="tape", duration_s=20.0,
+        loads=(TenantLoad(tenant="rec", arrivals=ReplayArrivals(trace)),),
+    )
+    compiled = compile_scenario(spec, seed=9)
+    assert compiled.trace_of("rec").arrivals == trace.arrivals
+    # Verbatim means seed-independent too.
+    assert compile_scenario(spec, seed=10).trace_of("rec").arrivals == trace.arrivals
+
+
+def test_burst_windows_bound_and_correlate():
+    spec = ScenarioSpec(
+        name="bursty", duration_s=40.0,
+        bursts=BurstEnvelope(factor=4.0, mean_calm_s=5.0, mean_burst_s=3.0),
+        loads=tuple(
+            TenantLoad(tenant=f"t{i}", arrivals=ConstantArrivals(rate_rps=2.0))
+            for i in range(2)
+        ),
+    )
+    compiled = compile_scenario(spec, seed=3)
+    assert compiled.windows, "expected at least one burst window in 40s"
+    for start, end in compiled.windows:
+        assert 0.0 <= start < end <= spec.duration_s
+    # Correlated = scenario-level: both tenants see the same windows, so
+    # the aggregate rate inside windows is well above the calm rate.
+    inside = sum(
+        sum(1 for t, _mb in trace.arrivals if any(s <= t < e for s, e in compiled.windows))
+        for _tenant, trace in compiled.traces
+    )
+    burst_span = sum(e - s for s, e in compiled.windows)
+    calm_span = spec.duration_s - burst_span
+    outside = compiled.total_arrivals - inside
+    if burst_span >= 3.0 and calm_span >= 3.0:  # enough span to compare rates
+        assert inside / burst_span > 1.5 * (outside / calm_span)
+
+
+def test_burst_windows_empty_without_envelope():
+    spec = ScenarioSpec(
+        name="calm", duration_s=10.0,
+        loads=(TenantLoad(tenant="t", arrivals=ConstantArrivals(rate_rps=1.0)),),
+    )
+    assert burst_windows(spec, RandomStreams(0)) == ()
+    assert compile_scenario(spec, seed=0).windows == ()
+
+
+def test_compile_rejects_mismatched_streams():
+    spec = get_scenario("flash-crowd", 10.0)
+    with pytest.raises(ValueError):
+        compile_scenario(spec, seed=1, streams=RandomStreams(2))
+
+
+def test_shared_streams_leave_platform_draws_untouched():
+    # Compiling on a shared factory must not perturb non-scenario
+    # streams: the common-random-numbers discipline.
+    spec = get_scenario("heavy-tail", 10.0)
+    alone = RandomStreams(4)
+    before = [alone.uniform("boot-probe", 0.0, 1.0) for _ in range(5)]
+    shared = RandomStreams(4)
+    compile_scenario(spec, seed=4, streams=shared)
+    after = [shared.uniform("boot-probe", 0.0, 1.0) for _ in range(5)]
+    assert before == after
+
+
+def test_size_models_respect_caps():
+    spec = get_scenario("heavy-tail", 60.0)
+    compiled = compile_scenario(spec, seed=2)
+    caps = {load.tenant: load.sizes.cap_mb for load in spec.loads}
+    for tenant, trace in compiled.traces:
+        assert all(mb <= caps[tenant] for _t, mb in trace.arrivals), tenant
+
+
+def test_trace_of_unknown_tenant():
+    compiled = compile_scenario(get_scenario("diurnal", 10.0), seed=0)
+    with pytest.raises(KeyError):
+        compiled.trace_of("nobody")

@@ -71,6 +71,57 @@ def test_replay_preserves_arrival_times(web_service):
     assert tb.now >= start + 9.0
 
 
+def test_trace_rejects_non_finite_entries():
+    nan, inf = float("nan"), float("inf")
+    # NaN offsets would slide through the sign/sort checks (NaN compares
+    # False to everything) and corrupt replay timing downstream.
+    with pytest.raises(ValueError):
+        ArrivalTrace(((nan, 0.1),))
+    with pytest.raises(ValueError):
+        ArrivalTrace(((1.0, nan),))
+    with pytest.raises(ValueError):
+        ArrivalTrace(((inf, 0.1),))
+    with pytest.raises(ValueError):
+        ArrivalTrace(((1.0, -inf),))
+
+
+def test_replay_of_empty_trace_completes_immediately(web_service):
+    tb, web, honeypot, clients = web_service
+    start = tb.now
+    replay = TraceReplay(tb.sim, web.switch, clients, ArrivalTrace(()))
+    report = tb.run(replay.run())
+    assert report.completed == 0
+    assert report.failures == 0
+    assert tb.now == start  # nothing to wait for
+
+
+def test_replay_arrival_exactly_at_horizon(web_service):
+    # A recording whose last request lands exactly on its nominal end:
+    # the boundary arrival must be issued, not dropped.
+    tb, web, honeypot, clients = web_service
+    horizon = 10.0
+    trace = ArrivalTrace(((1.0, 0.1), (5.0, 0.1), (horizon, 0.1)))
+    assert trace.duration == horizon
+    replay = TraceReplay(tb.sim, web.switch, clients, trace)
+    report = tb.run(replay.run())
+    assert report.completed == 3
+
+
+def test_diurnal_amplitude_zero_is_poisson_arrival_for_arrival():
+    # peak_factor == 1 means zero modulation: the diurnal process *is*
+    # homogeneous Poisson, and must reproduce it draw for draw at equal
+    # seed — not just in distribution.
+    diurnal = diurnal_trace(
+        RandomStreams(seed=11), base_rps=6.0, peak_factor=1.0,
+        period_s=50.0, duration_s=100.0, dataset_mb=0.125,
+    )
+    poisson = poisson_trace(
+        RandomStreams(seed=11), rate_rps=6.0, duration_s=100.0, dataset_mb=0.125
+    )
+    assert len(diurnal) > 0
+    assert diurnal.arrivals == poisson.arrivals
+
+
 def test_replay_counts_failures_when_service_down(web_service):
     tb, web, honeypot, clients = web_service
     for node in web.nodes:
